@@ -1,0 +1,175 @@
+// Package notebookos_bench regenerates every table and figure of the
+// paper's evaluation as Go benchmarks: `go test -bench=. -benchmem` runs
+// each experiment at reduced (quick) scale and reports the headline
+// metric of the corresponding figure via b.ReportMetric. Full-scale runs
+// are available through cmd/nbos-sim.
+package notebookos_bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"notebookos/internal/experiments"
+	"notebookos/internal/platform"
+	"notebookos/internal/resources"
+	"notebookos/internal/sim"
+	"notebookos/internal/trace"
+)
+
+// benchOpts are the shared reduced-scale options.
+var benchOpts = experiments.Options{Seed: 42, Quick: true}
+
+// runExperiment executes one experiment per benchmark iteration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var out string
+	var err error
+	for i := 0; i < b.N; i++ {
+		out, err = e.Run(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if testing.Verbose() {
+		b.Log("\n" + out)
+	}
+	if len(out) == 0 {
+		b.Fatal("empty output")
+	}
+}
+
+func BenchmarkFig02aTaskDurationCDF(b *testing.B)    { runExperiment(b, "fig2a") }
+func BenchmarkFig02bIATCDF(b *testing.B)             { runExperiment(b, "fig2b") }
+func BenchmarkFig02cGPUUtilCDF(b *testing.B)         { runExperiment(b, "fig2c") }
+func BenchmarkFig02dReservedVsUtilized(b *testing.B) { runExperiment(b, "fig2d") }
+func BenchmarkTable1Catalog(b *testing.B)            { runExperiment(b, "table1") }
+func BenchmarkFig07ActiveTimeline(b *testing.B)      { runExperiment(b, "fig7") }
+
+// BenchmarkFig08ProvisionedGPUs also reports the headline GPU-hours saved.
+func BenchmarkFig08ProvisionedGPUs(b *testing.B) {
+	cfg := trace.AdobeExcerptConfig(42)
+	cfg.Duration = 4 * time.Hour
+	tr := trace.MustGenerate(cfg)
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reserved := tr.ReservedGPUs().Integral(tr.Start, tr.End)
+		saved = reserved - res.ProvisionedGPUs.Integral(tr.Start, tr.End)
+	}
+	b.ReportMetric(saved, "GPUh-saved")
+}
+
+// BenchmarkFig09aInteractivity reports NotebookOS's p50 delay in ms.
+func BenchmarkFig09aInteractivity(b *testing.B) {
+	cfg := trace.AdobeExcerptConfig(42)
+	cfg.Duration = 4 * time.Hour
+	tr := trace.MustGenerate(cfg)
+	var p50 float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p50 = res.Interactivity.Percentile(50) * 1000
+	}
+	b.ReportMetric(p50, "delay-p50-ms")
+}
+
+func BenchmarkFig09bTCT(b *testing.B)              { runExperiment(b, "fig9b") }
+func BenchmarkFig10SubscriptionRatio(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11SyncLatency measures the REAL protocol: a live 3-replica
+// kernel on the in-memory transport, timing small-object Raft sync.
+func BenchmarkFig11SyncLatency(b *testing.B) {
+	p, err := platform.New(platform.Config{Hosts: 3, TimeScale: 0.0001, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Stop()
+	sess, err := p.CreateSession("bench", resources.Spec{Millicpus: 4000, MemoryMB: 16 << 10, GPUs: 1, VRAMGB: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		code := fmt.Sprintf("v = %d\n", i)
+		if _, err := p.ExecuteSync(sess.ID, code, 30*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12aCost(b *testing.B)                { runExperiment(b, "fig12a") }
+func BenchmarkFig12bProfitMargin(b *testing.B)        { runExperiment(b, "fig12b") }
+func BenchmarkFig13GPUHoursSaved(b *testing.B)        { runExperiment(b, "fig13") }
+func BenchmarkFig14aAllocatableGPUs(b *testing.B)     { runExperiment(b, "fig14a") }
+func BenchmarkFig14bUsageRatio(b *testing.B)          { runExperiment(b, "fig14b") }
+func BenchmarkFig16BreakdownReservation(b *testing.B) { runExperiment(b, "fig16") }
+func BenchmarkFig17BreakdownBatch(b *testing.B)       { runExperiment(b, "fig17") }
+func BenchmarkFig18BreakdownNotebookOS(b *testing.B)  { runExperiment(b, "fig18") }
+func BenchmarkFig19BreakdownLCP(b *testing.B)         { runExperiment(b, "fig19") }
+func BenchmarkFig20SummerTimeline(b *testing.B)       { runExperiment(b, "fig20") }
+
+func BenchmarkAblationReplicationFactor(b *testing.B) { runExperiment(b, "ablation-replicas") }
+func BenchmarkAblationSRLimit(b *testing.B)           { runExperiment(b, "ablation-sr") }
+func BenchmarkAblationScaleFactor(b *testing.B)       { runExperiment(b, "ablation-f") }
+func BenchmarkAblationPrewarm(b *testing.B)           { runExperiment(b, "ablation-prewarm") }
+
+// BenchmarkExecutorElection measures the live LEAD/VOTE election + cell
+// execution round trip on a real 3-replica kernel (paper: "typically tens
+// of milliseconds").
+func BenchmarkExecutorElection(b *testing.B) {
+	p, err := platform.New(platform.Config{Hosts: 3, TimeScale: 0.0001, Seed: 23})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Stop()
+	sess, err := p.CreateSession("bench", resources.Spec{Millicpus: 4000, MemoryMB: 16 << 10, GPUs: 1, VRAMGB: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ExecuteSync(sess.ID, "x = 1\n", 30*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures synthetic-trace generation throughput.
+func BenchmarkTraceGeneration(b *testing.B) {
+	var tasks int
+	for i := 0; i < b.N; i++ {
+		cfg := trace.AdobeExcerptConfig(int64(i + 1))
+		tr := trace.MustGenerate(cfg)
+		tasks = tr.NumTasks()
+	}
+	b.ReportMetric(float64(tasks), "tasks")
+}
+
+// sanity check that the bench file sees the same experiment set DESIGN.md
+// promises.
+func TestBenchCoversAllExperiments(t *testing.T) {
+	covered := map[string]bool{
+		"fig2a": true, "fig2b": true, "fig2c": true, "fig2d": true,
+		"table1": true, "fig7": true, "fig8": true, "fig9a": true,
+		"fig9b": true, "fig10": true, "fig11": true, "fig12a": true,
+		"fig12b": true, "fig13": true, "fig14a": true, "fig14b": true,
+		"fig16": true, "fig17": true, "fig18": true, "fig19": true,
+		"fig20": true, "ablation-replicas": true, "ablation-sr": true,
+		"ablation-f": true, "ablation-prewarm": true,
+	}
+	for _, e := range experiments.All() {
+		if !covered[e.ID] {
+			t.Errorf("experiment %s has no benchmark", e.ID)
+		}
+	}
+}

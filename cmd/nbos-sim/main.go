@@ -1,0 +1,63 @@
+// Command nbos-sim regenerates the paper's tables and figures from the
+// command line.
+//
+// Usage:
+//
+//	nbos-sim -list
+//	nbos-sim -exp fig8 [-seed 42] [-quick]
+//	nbos-sim -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"notebookos/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (e.g. fig8), or 'all'")
+		seed  = flag.Int64("seed", 42, "random seed")
+		quick = flag.Bool("quick", false, "reduced-scale run")
+		list  = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-18s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	o := experiments.Options{Seed: *seed, Quick: *quick}
+	run := func(e experiments.Experiment) {
+		t0 := time.Now()
+		out, err := e.Run(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(t0).Seconds())
+	}
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

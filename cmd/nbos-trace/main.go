@@ -1,0 +1,67 @@
+// Command nbos-trace generates and characterizes synthetic IDLT traces.
+//
+// Usage:
+//
+//	nbos-trace -trace adobe-excerpt -seed 42
+//	nbos-trace -trace adobe-summer -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"notebookos/internal/trace"
+)
+
+func main() {
+	var (
+		kind = flag.String("trace", "adobe-excerpt", "adobe-excerpt | adobe-summer | philly | alibaba")
+		seed = flag.Int64("seed", 42, "random seed")
+		days = flag.Float64("days", 0, "override trace duration in days (0 = default)")
+	)
+	flag.Parse()
+
+	var cfg trace.GenConfig
+	switch *kind {
+	case "adobe-excerpt":
+		cfg = trace.AdobeExcerptConfig(*seed)
+	case "adobe-summer":
+		cfg = trace.AdobeSummerConfig(*seed)
+	case "philly":
+		cfg = trace.PhillyConfig(*seed)
+	case "alibaba":
+		cfg = trace.AlibabaConfig(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown trace kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if *days > 0 {
+		cfg.Duration = time.Duration(*days * 24 * float64(time.Hour))
+	}
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := tr.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("trace %s: %d sessions, %d tasks, %s..%s\n",
+		tr.Name, len(tr.Sessions), tr.NumTasks(),
+		tr.Start.Format(time.RFC3339), tr.End.Format(time.RFC3339))
+	fmt.Printf("durations: %s\n", tr.Durations().Summary("s"))
+	fmt.Printf("IATs:      %s\n", tr.IATs().Summary("s"))
+	fmt.Printf("sessions:  max active=%.0f\n", tr.ActiveSessions().Max())
+	fmt.Printf("trainings: max active=%.0f mean=%.2f\n",
+		tr.ActiveTasks().Max(), tr.ActiveTasks().MeanOver(tr.Start, tr.End))
+	fmt.Printf("reserved GPU-hours=%.1f utilized GPU-hours=%.1f\n",
+		tr.ReservedGPUs().Integral(tr.Start, tr.End),
+		tr.UtilizedGPUs().Integral(tr.Start, tr.End))
+	fracs := tr.ActiveFractions()
+	fmt.Printf("session GPU-active fraction: never=%.1f%% <=5%%=%.1f%%\n",
+		fracs.FracBelow(0)*100, fracs.FracBelow(0.05)*100)
+}

@@ -1,0 +1,59 @@
+// Quickstart: start an in-process NotebookOS deployment, create a
+// notebook session (which provisions a 3-replica distributed kernel), run
+// a few cells, and observe Raft-replicated state surviving across cells.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"notebookos/internal/platform"
+	"notebookos/internal/resources"
+)
+
+func main() {
+	// A 4-server cluster with 8 GPUs each; train() durations compressed
+	// 100x so the example finishes in seconds.
+	p, err := platform.New(platform.Config{
+		Hosts:     4,
+		TimeScale: 0.01,
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Stop()
+
+	sess, err := p.CreateSession("quickstart", resources.Spec{
+		Millicpus: 8000, MemoryMB: 32 * 1024, GPUs: 2, VRAMGB: 32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session %s -> distributed kernel %s (3 replicas)\n\n", sess.ID, sess.KernelID)
+
+	cells := []string{
+		"x = 21\ny = x * 2\nprint(\"y =\", y)\n",
+		"model = create_model(\"resnet18\")\ndata = load_dataset(\"cifar10\")\nprint(model.name, data.name)\n",
+		"result = train(model, data, epochs=2, gpus=2, seconds=30)\nprint(\"loss:\", result.loss)\n",
+		"print(\"epochs so far:\", model.epochs_trained)\nprint(\"y still:\", y)\n",
+	}
+	for i, code := range cells {
+		fmt.Printf("In [%d]:\n%s", i+1, code)
+		reply, err := p.ExecuteSync(sess.ID, code, 60*time.Second)
+		if err != nil {
+			log.Fatalf("cell %d: %v", i+1, err)
+		}
+		if reply.Status != "ok" {
+			log.Fatalf("cell %d failed: %s: %s", i+1, reply.EName, reply.EValue)
+		}
+		fmt.Printf("Out[%d] (replica %d):\n%s\n", i+1, reply.Replica, reply.Output)
+	}
+
+	st := p.Status()
+	fmt.Printf("cluster: %d GPUs total, %d subscribed, %d committed, SR=%.3f\n",
+		st.TotalGPUs, st.SubscribedGPUs, st.CommittedGPUs, st.ClusterSR)
+	fmt.Printf("scheduler: %d executions, %d immediate commits, %d migrations\n",
+		st.SchedulerStats.Executions, st.SchedulerStats.ImmediateCommits, st.SchedulerStats.Migrations)
+}

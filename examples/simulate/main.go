@@ -1,0 +1,46 @@
+// simulate runs a small policy-comparison study: a 4-hour synthetic IDLT
+// excerpt replayed under all four scheduling policies, printing the
+// summary rows behind Figs. 8 and 9 of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"notebookos/internal/sim"
+	"notebookos/internal/trace"
+)
+
+func main() {
+	cfg := trace.AdobeExcerptConfig(42)
+	cfg.Duration = 4 * time.Hour
+	tr := trace.MustGenerate(cfg)
+	fmt.Printf("workload: %d sessions, %d training tasks over %.1fh\n\n",
+		len(tr.Sessions), tr.NumTasks(), tr.End.Sub(tr.Start).Hours())
+
+	reservedHours := tr.ReservedGPUs().Integral(tr.Start, tr.End)
+	oracleHours := tr.UtilizedGPUs().Integral(tr.Start, tr.End)
+	fmt.Printf("%-16s %12s %12s %12s %12s %12s\n",
+		"policy", "gpu-hours", "saved", "delay-p50", "delay-p99", "tct-p50")
+	fmt.Printf("%-16s %12.1f %12s %12s %12s %12s\n", "oracle", oracleHours, "-", "-", "-", "-")
+	fmt.Printf("%-16s %12.1f %12s %12s %12s %12s\n", "reservation*", reservedHours, "-", "-", "-", "-")
+
+	for _, policy := range []sim.Policy{sim.PolicyReservation, sim.PolicyBatch, sim.PolicyNotebookOS, sim.PolicyLCP} {
+		res, err := sim.Run(sim.Config{Trace: tr, Policy: policy, Hosts: 30, Seed: 42})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hours := res.ProvisionedGPUs.Integral(tr.Start, tr.End)
+		if policy == sim.PolicyReservation {
+			hours = reservedHours
+		}
+		fmt.Printf("%-16s %12.1f %12.1f %12.2fs %12.2fs %12.1fs\n",
+			policy, hours, reservedHours-hours,
+			res.Interactivity.Percentile(50), res.Interactivity.Percentile(99),
+			res.TCT.Percentile(50))
+	}
+	fmt.Println("\n* reservation provisions exactly what sessions reserve")
+	fmt.Println("expected shape (paper Figs. 8-9): NotebookOS keeps Reservation-class")
+	fmt.Println("interactivity while saving most of its GPU-hours; Batch is cheap but slow.")
+}

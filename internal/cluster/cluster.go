@@ -1,0 +1,283 @@
+// Package cluster models the GPU server cluster NotebookOS schedules over:
+// hosts with fixed capacities, the replicas subscribed to each host, the
+// resources exclusively committed during cell execution, and the
+// subscription-ratio (SR) arithmetic of paper §3.4.1. Both the live
+// schedulers (internal/scheduler) and the discrete-event simulator
+// (internal/sim) operate on this state, so placement decisions cannot
+// drift between the two.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"notebookos/internal/gpu"
+	"notebookos/internal/resources"
+)
+
+// DefaultReplicasPerKernel is R in the SR formula: each distributed kernel
+// has three replicas (§3.1; R=5 costs too much, R=2 is unsupported by Raft).
+const DefaultReplicasPerKernel = 3
+
+// Host is one GPU server.
+type Host struct {
+	ID       string
+	Capacity resources.Spec
+
+	// Committed tracks exclusive bindings during cell execution.
+	committed *resources.Pool
+	// Devices tracks per-device GPU allocation.
+	Devices *gpu.Pool
+
+	mu         sync.Mutex
+	subscribed resources.Spec
+	replicas   map[string]resources.Spec
+}
+
+// NewHost returns a host with the given capacity.
+func NewHost(id string, capacity resources.Spec) *Host {
+	return &Host{
+		ID:        id,
+		Capacity:  capacity,
+		committed: resources.NewPool(capacity),
+		Devices:   gpu.NewPool(id, capacity.GPUs),
+		replicas:  map[string]resources.Spec{},
+	}
+}
+
+// PlaceReplica subscribes a kernel replica's resource request on the host.
+// Subscription does not commit resources (paper §3.2.1: "resources are not
+// exclusively committed... the kernel replicas subscribe to the requested
+// resources").
+func (h *Host) PlaceReplica(replicaID string, req resources.Spec) error {
+	if err := req.Validate(); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.replicas[replicaID]; ok {
+		return fmt.Errorf("cluster: replica %s already on host %s", replicaID, h.ID)
+	}
+	h.replicas[replicaID] = req
+	h.subscribed = h.subscribed.Add(req)
+	return nil
+}
+
+// RemoveReplica unsubscribes a replica (kernel shutdown or migration).
+func (h *Host) RemoveReplica(replicaID string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	req, ok := h.replicas[replicaID]
+	if !ok {
+		return fmt.Errorf("cluster: replica %s not on host %s", replicaID, h.ID)
+	}
+	delete(h.replicas, replicaID)
+	h.subscribed = h.subscribed.Sub(req)
+	return nil
+}
+
+// HasReplica reports whether the replica is subscribed on this host.
+func (h *Host) HasReplica(replicaID string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.replicas[replicaID]
+	return ok
+}
+
+// ReplicaRequest returns the subscribed request of a replica.
+func (h *Host) ReplicaRequest(replicaID string) (resources.Spec, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	req, ok := h.replicas[replicaID]
+	return req, ok
+}
+
+// Replicas returns the IDs of replicas subscribed on the host, sorted.
+func (h *Host) Replicas() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.replicas))
+	for id := range h.replicas {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumReplicas returns the number of subscribed replicas.
+func (h *Host) NumReplicas() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.replicas)
+}
+
+// Subscribed returns the sum of subscribed resource requests.
+func (h *Host) Subscribed() resources.Spec {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.subscribed
+}
+
+// SubscriptionRatio returns S/(G*R) for this host (paper §3.4.1), where S
+// is subscribed GPUs, G the host's GPU count, and R replicas per kernel.
+func (h *Host) SubscriptionRatio(replicasPerKernel int) float64 {
+	h.mu.Lock()
+	s := h.subscribed.GPUs
+	h.mu.Unlock()
+	g := h.Capacity.GPUs
+	if g == 0 || replicasPerKernel == 0 {
+		return 0
+	}
+	return float64(s) / float64(g*replicasPerKernel)
+}
+
+// Commit exclusively binds req to holder for the duration of a cell
+// execution (dynamic GPU binding, §3.3).
+func (h *Host) Commit(holder string, req resources.Spec) error {
+	return h.committed.Commit(holder, req)
+}
+
+// Release returns holder's committed resources.
+func (h *Host) Release(holder string) error {
+	return h.committed.Release(holder)
+}
+
+// CanCommit reports whether req fits the host's currently idle capacity.
+func (h *Host) CanCommit(req resources.Spec) bool {
+	return h.committed.CanCommit(req)
+}
+
+// Committed returns the resources currently exclusively bound.
+func (h *Host) Committed() resources.Spec {
+	return h.committed.Committed()
+}
+
+// IdleGPUs returns GPUs not exclusively committed right now.
+func (h *Host) IdleGPUs() int {
+	return h.Capacity.GPUs - h.committed.Committed().GPUs
+}
+
+// Cluster is the set of hosts plus cluster-wide SR accounting.
+type Cluster struct {
+	mu                sync.Mutex
+	hosts             map[string]*Host
+	order             []string // host IDs in insertion order
+	replicasPerKernel int
+}
+
+// New returns an empty cluster with the given replication factor R.
+func New(replicasPerKernel int) *Cluster {
+	if replicasPerKernel <= 0 {
+		replicasPerKernel = DefaultReplicasPerKernel
+	}
+	return &Cluster{
+		hosts:             map[string]*Host{},
+		replicasPerKernel: replicasPerKernel,
+	}
+}
+
+// ReplicasPerKernel returns R.
+func (c *Cluster) ReplicasPerKernel() int { return c.replicasPerKernel }
+
+// AddHost adds a host; the ID must be unique.
+func (c *Cluster) AddHost(h *Host) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.hosts[h.ID]; ok {
+		return fmt.Errorf("cluster: host %s already present", h.ID)
+	}
+	c.hosts[h.ID] = h
+	c.order = append(c.order, h.ID)
+	return nil
+}
+
+// RemoveHost removes a host; it must have no subscribed replicas.
+func (c *Cluster) RemoveHost(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.hosts[id]
+	if !ok {
+		return fmt.Errorf("cluster: host %s not present", id)
+	}
+	if h.NumReplicas() > 0 {
+		return fmt.Errorf("cluster: host %s still has %d replicas", id, h.NumReplicas())
+	}
+	delete(c.hosts, id)
+	for i, hid := range c.order {
+		if hid == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Host returns a host by ID.
+func (c *Cluster) Host(id string) (*Host, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.hosts[id]
+	return h, ok
+}
+
+// Hosts returns all hosts in insertion order.
+func (c *Cluster) Hosts() []*Host {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Host, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.hosts[id])
+	}
+	return out
+}
+
+// NumHosts returns the number of hosts.
+func (c *Cluster) NumHosts() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.hosts)
+}
+
+// TotalGPUs returns the cluster GPU capacity (sum of G).
+func (c *Cluster) TotalGPUs() int {
+	total := 0
+	for _, h := range c.Hosts() {
+		total += h.Capacity.GPUs
+	}
+	return total
+}
+
+// SubscribedGPUs returns the cluster-wide subscribed GPU count (sum of S).
+func (c *Cluster) SubscribedGPUs() int {
+	total := 0
+	for _, h := range c.Hosts() {
+		total += h.Subscribed().GPUs
+	}
+	return total
+}
+
+// CommittedGPUs returns the GPUs actively committed to executing replicas
+// across the cluster (sum of C in the auto-scaler formula, §3.4.2).
+func (c *Cluster) CommittedGPUs() int {
+	total := 0
+	for _, h := range c.Hosts() {
+		total += h.Committed().GPUs
+	}
+	return total
+}
+
+// SRLimit returns the dynamic cluster-wide subscription-ratio limit
+// (paper §3.4.1): sum(S) / (sum(G) * R). A host whose SR would exceed this
+// limit after a placement is rejected.
+func (c *Cluster) SRLimit() float64 {
+	g := c.TotalGPUs()
+	if g == 0 {
+		return 0
+	}
+	return float64(c.SubscribedGPUs()) / float64(g*c.replicasPerKernel)
+}
+
+// ClusterSR returns the current cluster-wide subscription ratio, which by
+// construction equals SRLimit (the limit tracks the live ratio).
+func (c *Cluster) ClusterSR() float64 { return c.SRLimit() }

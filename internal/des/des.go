@@ -1,0 +1,138 @@
+// Package des implements a deterministic discrete-event simulation engine.
+// The simulator in internal/sim uses it to replay multi-day IDLT workloads
+// (paper §5.5 simulates the full 90-day trace) in milliseconds of wall time.
+//
+// An Engine is single-threaded by design: events execute in (time, sequence)
+// order on the caller's goroutine, which makes simulations reproducible
+// bit-for-bit for a fixed seed.
+package des
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Handler is the work executed when an event fires.
+type Handler func()
+
+// Event is a scheduled occurrence. Cancel prevents a not-yet-fired event
+// from running; cancelling a fired event is a no-op.
+type Event struct {
+	at       time.Time
+	seq      int64
+	fn       Handler
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// At returns the time the event is scheduled to fire.
+func (e *Event) At() time.Time { return e.at }
+
+// Cancel prevents the event from firing.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Engine is a discrete-event executor with a virtual clock.
+type Engine struct {
+	now     time.Time
+	pq      eventHeap
+	seq     int64
+	steps   int64
+	stopped bool
+}
+
+// New returns an engine whose clock starts at start.
+func New(start time.Time) *Engine {
+	return &Engine{now: start}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// Len returns the number of pending (not yet fired) events, including
+// cancelled ones that have not been reaped.
+func (e *Engine) Len() int { return len(e.pq) }
+
+// At schedules fn at absolute time t. Scheduling in the past schedules at
+// the current time (it will still run strictly after the current event).
+func (e *Engine) At(t time.Time, fn Handler) *Event {
+	if t.Before(e.now) {
+		t = e.now
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// After schedules fn d from now.
+func (e *Engine) After(d time.Duration, fn Handler) *Event {
+	return e.At(e.now.Add(d), fn)
+}
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.pq) > 0 && !e.stopped {
+		e.step()
+	}
+}
+
+// RunUntil executes events with firing time <= deadline (or until Stop),
+// then advances the clock to deadline.
+func (e *Engine) RunUntil(deadline time.Time) {
+	e.stopped = false
+	for len(e.pq) > 0 && !e.stopped && !e.pq[0].at.After(deadline) {
+		e.step()
+	}
+	if !e.stopped && deadline.After(e.now) {
+		e.now = deadline
+	}
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.pq).(*Event)
+	if ev.canceled {
+		return
+	}
+	e.now = ev.at
+	e.steps++
+	ev.fn()
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,151 @@
+package des
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRunExecutesInTimeOrder(t *testing.T) {
+	e := New(t0)
+	var order []int
+	e.After(3*time.Second, func() { order = append(order, 3) })
+	e.After(1*time.Second, func() { order = append(order, 1) })
+	e.After(2*time.Second, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if got := e.Now().Sub(t0); got != 3*time.Second {
+		t.Fatalf("Now = +%v, want +3s", got)
+	}
+	if e.Steps() != 3 {
+		t.Fatalf("Steps = %d", e.Steps())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	e := New(t0)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order = %v", order)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := New(t0)
+	var fired []time.Duration
+	e.After(time.Second, func() {
+		fired = append(fired, e.Now().Sub(t0))
+		e.After(time.Second, func() {
+			fired = append(fired, e.Now().Sub(t0))
+		})
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 2*time.Second {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(t0)
+	ran := false
+	ev := e.After(time.Second, func() { ran = true })
+	ev.Cancel()
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() should be true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(t0)
+	var fired int
+	for i := 1; i <= 10; i++ {
+		e.After(time.Duration(i)*time.Minute, func() { fired++ })
+	}
+	e.RunUntil(t0.Add(5 * time.Minute))
+	if fired != 5 {
+		t.Fatalf("fired = %d, want 5", fired)
+	}
+	if !e.Now().Equal(t0.Add(5 * time.Minute)) {
+		t.Fatalf("Now = %v", e.Now())
+	}
+	e.Run()
+	if fired != 10 {
+		t.Fatalf("fired = %d, want 10", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New(t0)
+	var fired int
+	e.After(time.Second, func() { fired++; e.Stop() })
+	e.After(2*time.Second, func() { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (stopped)", fired)
+	}
+	e.Run() // resume
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 after resume", fired)
+	}
+}
+
+func TestSchedulingInPastClampsToNow(t *testing.T) {
+	e := New(t0)
+	var at time.Time
+	e.After(time.Hour, func() {
+		e.At(t0, func() { at = e.Now() }) // t0 is in the past by then
+	})
+	e.Run()
+	if !at.Equal(t0.Add(time.Hour)) {
+		t.Fatalf("past event ran at %v, want clamp to now", at)
+	}
+}
+
+// Property: regardless of insertion order, events fire in non-decreasing
+// time order and the engine executes exactly the non-cancelled ones.
+func TestOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := New(t0)
+		n := 50 + r.Intn(100)
+		canceled := 0
+		var fireTimes []time.Time
+		for i := 0; i < n; i++ {
+			d := time.Duration(r.Intn(10_000)) * time.Millisecond
+			ev := e.After(d, func() { fireTimes = append(fireTimes, e.Now()) })
+			if r.Intn(5) == 0 {
+				ev.Cancel()
+				canceled++
+			}
+		}
+		e.Run()
+		if len(fireTimes) != n-canceled {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i].Before(fireTimes[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+// Package driver is the workload driver of the paper's evaluation
+// (§5.1.2): it replays an IDLT trace against a *live* platform deployment,
+// creating a session (and its distributed kernel) per trace session,
+// submitting one training cell per trace task with the model/dataset
+// assignment drawn from the Table 1 catalog, and collecting task
+// completion times and errors. Trace time is compressed so multi-hour
+// excerpts replay in seconds of wall time.
+package driver
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"notebookos/internal/metrics"
+	"notebookos/internal/platform"
+	"notebookos/internal/trace"
+	"notebookos/internal/workload"
+)
+
+// Config parameterizes a replay.
+type Config struct {
+	// Platform is the live deployment under test.
+	Platform *platform.Platform
+	// Trace is the workload to replay.
+	Trace *trace.Trace
+	// Compression divides all trace time intervals: 3600 replays one
+	// trace-hour per wall-second. The platform's TimeScale should be set
+	// to 1/Compression so train() durations shrink consistently.
+	Compression float64
+	// MaxSessions caps the number of sessions replayed (0 = all).
+	MaxSessions int
+	// MaxTasksPerSession caps tasks per session (0 = all).
+	MaxTasksPerSession int
+	// ExecTimeout bounds each cell execution (default 60s).
+	ExecTimeout time.Duration
+	// Seed drives the model/dataset assignment.
+	Seed int64
+}
+
+// Report summarizes a replay.
+type Report struct {
+	Sessions int
+	Tasks    int
+	Errors   int
+	// TCT is the wall-clock task completion time sample, in (compressed)
+	// seconds.
+	TCT *metrics.Sample
+}
+
+// TimeScale returns the platform TimeScale matching this driver config.
+func (c Config) TimeScale() float64 {
+	if c.Compression <= 0 {
+		return 1
+	}
+	return 1 / c.Compression
+}
+
+// Replay runs the trace against the platform and blocks until every
+// submitted task has completed.
+func Replay(cfg Config) (*Report, error) {
+	if cfg.Platform == nil || cfg.Trace == nil {
+		return nil, fmt.Errorf("driver: config requires Platform and Trace")
+	}
+	if cfg.Compression <= 0 {
+		cfg.Compression = 1
+	}
+	if cfg.ExecTimeout <= 0 {
+		cfg.ExecTimeout = 60 * time.Second
+	}
+	sessions := cfg.Trace.Sessions
+	if cfg.MaxSessions > 0 && len(sessions) > cfg.MaxSessions {
+		sessions = sessions[:cfg.MaxSessions]
+	}
+
+	rep := &Report{TCT: metrics.NewSample()}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+
+	start := time.Now()
+	compress := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d) / cfg.Compression)
+	}
+
+	for _, src := range sessions {
+		src := src
+		assign := workload.Assign(rng)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Wait until the session's (compressed) start time.
+			offset := compress(src.Start.Sub(cfg.Trace.Start))
+			if sleep := time.Until(start.Add(offset)); sleep > 0 {
+				time.Sleep(sleep)
+			}
+			sess, err := cfg.Platform.CreateSession(src.ID, src.Request)
+			if err != nil {
+				mu.Lock()
+				rep.Errors++
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			rep.Sessions++
+			mu.Unlock()
+			defer cfg.Platform.CloseSession(sess.ID)
+
+			tasks := src.Tasks
+			if cfg.MaxTasksPerSession > 0 && len(tasks) > cfg.MaxTasksPerSession {
+				tasks = tasks[:cfg.MaxTasksPerSession]
+			}
+			for _, task := range tasks {
+				offset := compress(task.Submit.Sub(cfg.Trace.Start))
+				if sleep := time.Until(start.Add(offset)); sleep > 0 {
+					time.Sleep(sleep)
+				}
+				code := assign.TrainingCell(1, task.GPUs, task.Duration.Seconds())
+				t0 := time.Now()
+				reply, err := cfg.Platform.ExecuteSync(sess.ID, code, cfg.ExecTimeout)
+				mu.Lock()
+				rep.Tasks++
+				if err != nil || reply.Status != "ok" {
+					rep.Errors++
+				} else {
+					rep.TCT.Add(time.Since(t0).Seconds())
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return rep, nil
+}

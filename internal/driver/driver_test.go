@@ -1,0 +1,68 @@
+package driver
+
+import (
+	"testing"
+	"time"
+
+	"notebookos/internal/platform"
+	"notebookos/internal/trace"
+)
+
+func TestReplaySmallExcerpt(t *testing.T) {
+	// One trace-hour per 20ms of wall time.
+	compression := 180_000.0
+	cfg := trace.AdobeExcerptConfig(3)
+	cfg.Duration = 2 * time.Hour
+	tr := trace.MustGenerate(cfg)
+
+	p, err := platform.New(platform.Config{
+		Hosts:     4,
+		TimeScale: 1 / compression,
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	rep, err := Replay(Config{
+		Platform:           p,
+		Trace:              tr,
+		Compression:        compression,
+		MaxSessions:        6,
+		MaxTasksPerSession: 2,
+		ExecTimeout:        60 * time.Second,
+		Seed:               1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions == 0 {
+		t.Fatal("no sessions replayed")
+	}
+	if rep.Tasks == 0 {
+		t.Fatal("no tasks replayed")
+	}
+	if rep.Errors > rep.Tasks/2 {
+		t.Fatalf("too many errors: %d of %d", rep.Errors, rep.Tasks)
+	}
+	if rep.TCT.N() == 0 || rep.TCT.Percentile(50) <= 0 {
+		t.Fatalf("TCT sample missing: %+v", rep.TCT.N())
+	}
+	// All sessions closed: subscriptions released.
+	if got := p.Cluster.SubscribedGPUs(); got != 0 {
+		t.Fatalf("subscribed GPUs after replay = %d", got)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	if _, err := Replay(Config{}); err == nil {
+		t.Fatal("empty config must fail")
+	}
+	if (Config{Compression: 100}).TimeScale() != 0.01 {
+		t.Fatal("TimeScale")
+	}
+	if (Config{}).TimeScale() != 1 {
+		t.Fatal("default TimeScale")
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"notebookos/internal/sim"
+)
+
+// AblationReplicas sweeps the replication factor R. The paper argues R=3:
+// R=1 loses the immediate-availability benefit (more migrations), R=5
+// multiplies standby cost without interactivity gains (§3.1).
+func AblationReplicas(o Options) (string, error) {
+	tr := excerptTrace(o)
+	var b strings.Builder
+	b.WriteString(header("ablation-replicas", "Replication factor R", o))
+	fmt.Fprintf(&b, "%-4s %14s %12s %12s %16s\n", "R", "delay-p99", "migrations", "immediate%", "standby-rep-h")
+	for _, r := range []int{1, 3, 5} {
+		res, err := sim.Run(sim.Config{
+			Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30,
+			ReplicasPerKernel: r, Seed: o.seed(),
+		})
+		if err != nil {
+			return "", err
+		}
+		imm := 0.0
+		if res.Tasks > 0 {
+			imm = float64(res.ImmediateCommits) / float64(res.Tasks) * 100
+		}
+		fmt.Fprintf(&b, "%-4d %14s %12d %12.1f %16.0f\n",
+			r, fmtSeconds(res.Interactivity.Percentile(99)), res.Migrations, imm,
+			res.ActiveSessions.Integral(tr.Start, tr.End)*float64(r))
+	}
+	b.WriteString("expect: R=1 migrates most; R=5 triples standby hours for similar delay\n")
+	return b.String(), nil
+}
+
+// AblationSR sweeps the per-host SR high watermark: tighter caps reduce
+// contention (fewer migrations) but need more hosts.
+func AblationSR(o Options) (string, error) {
+	tr := excerptTrace(o)
+	var b strings.Builder
+	b.WriteString(header("ablation-sr", "SR high watermark", o))
+	fmt.Fprintf(&b, "%-6s %14s %12s %14s\n", "SRmax", "delay-p99", "migrations", "gpu-hours")
+	for _, wm := range []float64{1.0, 1.5, 2.0, 3.0} {
+		res, err := sim.Run(sim.Config{
+			Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30,
+			SRHighWatermark: wm, Seed: o.seed(),
+		})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-6.1f %14s %12d %14.0f\n",
+			wm, fmtSeconds(res.Interactivity.Percentile(99)), res.Migrations,
+			res.ProvisionedGPUs.Integral(tr.Start, tr.End))
+	}
+	return b.String(), nil
+}
+
+// AblationScaleFactor sweeps the autoscaler multiplier f (§3.4.2; the
+// paper uses 1.05).
+func AblationScaleFactor(o Options) (string, error) {
+	tr := excerptTrace(o)
+	var b strings.Builder
+	b.WriteString(header("ablation-f", "Autoscaler factor f", o))
+	fmt.Fprintf(&b, "%-6s %14s %12s %14s %10s\n", "f", "delay-p99", "migrations", "gpu-hours", "scaleouts")
+	for _, f := range []float64{1.0, 1.05, 1.25, 1.5} {
+		res, err := sim.Run(sim.Config{
+			Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30,
+			ScaleFactor: f, Seed: o.seed(),
+		})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-6.2f %14s %12d %14.0f %10d\n",
+			f, fmtSeconds(res.Interactivity.Percentile(99)), res.Migrations,
+			res.ProvisionedGPUs.Integral(tr.Start, tr.End), res.ScaleOuts)
+	}
+	b.WriteString("larger f provisions more GPU-hours to cut tail delay\n")
+	return b.String(), nil
+}
+
+// AblationPrewarm sweeps the pre-warmed container pool size, which
+// determines whether migrations pay warm-attach or full cold-start costs.
+func AblationPrewarm(o Options) (string, error) {
+	tr := excerptTrace(o)
+	var b strings.Builder
+	b.WriteString(header("ablation-prewarm", "Pre-warm pool size", o))
+	fmt.Fprintf(&b, "%-6s %14s %12s %12s\n", "pool", "delay-p99", "cold", "warm")
+	for _, pool := range []int{1, 2, 4, 8} {
+		res, err := sim.Run(sim.Config{
+			Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30,
+			PrewarmPerHost: pool, Seed: o.seed(),
+		})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-6d %14s %12d %12d\n",
+			pool, fmtSeconds(res.Interactivity.Percentile(99)), res.ColdStarts, res.WarmStarts)
+	}
+	b.WriteString("larger pools convert migration cold starts into warm attaches\n")
+	return b.String(), nil
+}

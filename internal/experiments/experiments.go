@@ -1,0 +1,220 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) plus the ablations DESIGN.md calls out. Each experiment
+// renders the same rows/series the paper plots, as text, so results can be
+// compared against the published curves. EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"notebookos/internal/sim"
+	"notebookos/internal/trace"
+)
+
+// Options control an experiment run.
+type Options struct {
+	// Seed drives all randomness (default 42).
+	Seed int64
+	// Quick runs a reduced-scale version (shorter traces) for benchmarks
+	// and CI; full scale matches the paper (17.5 h excerpt, 92-day trace).
+	Quick bool
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 42
+	}
+	return o.Seed
+}
+
+// Experiment regenerates one table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Options) (string, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig2a", "Task duration CDFs (Adobe vs Philly vs Alibaba)", Fig2a},
+		{"fig2b", "Per-session task IAT CDFs", Fig2b},
+		{"fig2c", "GPU utilization CDFs (AdobeTrace)", Fig2c},
+		{"fig2d", "Reserved vs utilized GPUs/CPUs timeline", Fig2d},
+		{"table1", "Model and dataset catalog", Table1},
+		{"fig7", "Active sessions & trainings (17.5h excerpt)", Fig7},
+		{"fig8", "Provisioned GPU timelines & GPU-hours saved", Fig8},
+		{"fig9a", "Interactivity delay CDFs", Fig9a},
+		{"fig9b", "Task completion time CDFs", Fig9b},
+		{"fig10", "Subscription ratio timeline & scheduler events", Fig10},
+		{"fig11", "Sync/read/write latency CDFs vs event IATs", Fig11},
+		{"fig12a", "Provider cost and revenue (90-day sim)", Fig12a},
+		{"fig12b", "Profit margin (90-day sim)", Fig12b},
+		{"fig13", "GPU-hours saved vs idle reclamation interval", Fig13},
+		{"fig14a", "Cluster-wide allocatable GPUs (90-day sim)", Fig14a},
+		{"fig14b", "GPU usage ratio (90-day sim)", Fig14b},
+		{"fig16", "Latency breakdown: Reservation", Fig16},
+		{"fig17", "Latency breakdown: Batch", Fig17},
+		{"fig18", "Latency breakdown: NotebookOS", Fig18},
+		{"fig19", "Latency breakdown: NotebookOS (LCP)", Fig19},
+		{"fig20", "Active sessions & trainings (full summer)", Fig20},
+		{"ablation-replicas", "Ablation: replication factor R", AblationReplicas},
+		{"ablation-sr", "Ablation: SR high watermark", AblationSR},
+		{"ablation-f", "Ablation: autoscaler factor f", AblationScaleFactor},
+		{"ablation-prewarm", "Ablation: pre-warm pool size", AblationPrewarm},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---- shared trace/simulation caches -------------------------------------
+
+type traceKey struct {
+	kind  string
+	seed  int64
+	quick bool
+}
+
+var (
+	traceMu    sync.Mutex
+	traceCache = map[traceKey]*trace.Trace{}
+)
+
+// excerptTrace returns the 17.5-hour excerpt (4 h in quick mode).
+func excerptTrace(o Options) *trace.Trace {
+	return cachedTrace(traceKey{"excerpt", o.seed(), o.Quick}, func() *trace.Trace {
+		cfg := trace.AdobeExcerptConfig(o.seed())
+		if o.Quick {
+			cfg.Duration = 4 * time.Hour
+		}
+		return trace.MustGenerate(cfg)
+	})
+}
+
+// summerTrace returns the 92-day summer trace (10 days in quick mode).
+func summerTrace(o Options) *trace.Trace {
+	return cachedTrace(traceKey{"summer", o.seed(), o.Quick}, func() *trace.Trace {
+		cfg := trace.AdobeSummerConfig(o.seed())
+		if o.Quick {
+			cfg.Duration = 10 * 24 * time.Hour
+		}
+		return trace.MustGenerate(cfg)
+	})
+}
+
+func phillyTrace(o Options) *trace.Trace {
+	return cachedTrace(traceKey{"philly", o.seed(), o.Quick}, func() *trace.Trace {
+		cfg := trace.PhillyConfig(o.seed())
+		if o.Quick {
+			cfg.Duration = 7 * 24 * time.Hour
+		}
+		return trace.MustGenerate(cfg)
+	})
+}
+
+func alibabaTrace(o Options) *trace.Trace {
+	return cachedTrace(traceKey{"alibaba", o.seed(), o.Quick}, func() *trace.Trace {
+		cfg := trace.AlibabaConfig(o.seed())
+		if o.Quick {
+			cfg.Duration = 7 * 24 * time.Hour
+		}
+		return trace.MustGenerate(cfg)
+	})
+}
+
+func cachedTrace(key traceKey, gen func() *trace.Trace) *trace.Trace {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	if tr, ok := traceCache[key]; ok {
+		return tr
+	}
+	tr := gen()
+	traceCache[key] = tr
+	return tr
+}
+
+type simKey struct {
+	kind   string
+	policy sim.Policy
+	seed   int64
+	quick  bool
+}
+
+var (
+	simMu    sync.Mutex
+	simCache = map[simKey]*sim.Result{}
+)
+
+// runSim runs (with caching) one policy over the named trace.
+func runSim(o Options, kind string, tr *trace.Trace, policy sim.Policy) (*sim.Result, error) {
+	key := simKey{kind, policy, o.seed(), o.Quick}
+	simMu.Lock()
+	if res, ok := simCache[key]; ok {
+		simMu.Unlock()
+		return res, nil
+	}
+	simMu.Unlock()
+	res, err := sim.Run(sim.Config{
+		Trace:  tr,
+		Policy: policy,
+		Hosts:  30,
+		Seed:   o.seed(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	simMu.Lock()
+	simCache[key] = res
+	simMu.Unlock()
+	return res, nil
+}
+
+// header renders a standard experiment banner.
+func header(id, title string, o Options) string {
+	scale := "full"
+	if o.Quick {
+		scale = "quick"
+	}
+	return fmt.Sprintf("== %s: %s (seed=%d scale=%s) ==\n", id, title, o.seed(), scale)
+}
+
+// fmtDuration renders seconds compactly for tables.
+func fmtSeconds(s float64) string {
+	switch {
+	case s < 1:
+		return fmt.Sprintf("%.0fms", s*1000)
+	case s < 120:
+		return fmt.Sprintf("%.1fs", s)
+	case s < 7200:
+		return fmt.Sprintf("%.1fmin", s/60)
+	default:
+		return fmt.Sprintf("%.1fh", s/3600)
+	}
+}
+
+// sortedKinds renders event counts deterministically.
+func sortedKinds(counts map[string]int) string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-16s %d\n", k, counts[k])
+	}
+	return b.String()
+}

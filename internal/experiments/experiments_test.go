@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every experiment at quick scale and
+// sanity-checks the output.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	o := Options{Seed: 42, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(o)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if !strings.Contains(out, e.ID) {
+				t.Errorf("%s output missing banner: %q", e.ID, firstLine(out))
+			}
+			if len(out) < 100 {
+				t.Errorf("%s output suspiciously short: %q", e.ID, out)
+			}
+		})
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig8"); !ok {
+		t.Fatal("fig8 missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id should miss")
+	}
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestFig8ShapeMatchesPaper(t *testing.T) {
+	out, err := Fig8(Options{Seed: 42, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The qualitative claims: NotebookOS and LCP both save GPU-hours vs
+	// Reservation, and LCP provisions fewer than NotebookOS.
+	if !strings.Contains(out, "saved vs reservation") {
+		t.Errorf("missing savings line:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "saved vs reservation") {
+			if strings.Contains(line, "nbos=-") || strings.Contains(line, "lcp=-") {
+				t.Errorf("negative savings: %s", line)
+			}
+		}
+	}
+}
+
+func TestFig13MonotoneInInterval(t *testing.T) {
+	o := Options{Seed: 42, Quick: true}
+	tr := summerTrace(o)
+	s15, _ := reexecutionSavings(tr, 15*60*1e9)
+	s120, _ := reexecutionSavings(tr, 120*60*1e9)
+	if s15 < s120 {
+		t.Errorf("15-min interval should save at least as much as 120-min: %v vs %v", s15, s120)
+	}
+	if s15 <= 0 {
+		t.Error("15-min reclamation should save some GPU-hours")
+	}
+}
+
+func TestFmtSeconds(t *testing.T) {
+	cases := map[float64]string{
+		0.005: "5ms",
+		2.5:   "2.5s",
+		150:   "2.5min",
+		7200:  "2.0h",
+	}
+	for in, want := range cases {
+		if got := fmtSeconds(in); got != want {
+			t.Errorf("fmtSeconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package kernel implements NotebookOS's Distributed Kernel (paper §3.2):
+// a logical Jupyter kernel realized as R Raft-replicated replicas spread
+// across GPU servers. It provides the executor election protocol
+// (LEAD/YIELD proposals and VOTE confirmation, Fig. 5), AST-based state
+// synchronization of small globals through the Raft log (Fig. 6),
+// large-object checkpointing to the distributed data store with pointer
+// entries, failed-election reporting (the trigger for replica migration),
+// and replica replacement via Raft membership changes.
+package kernel
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// OpKind enumerates the kernel's Raft log entry kinds.
+type OpKind string
+
+// Log entry kinds of the executor election and state sync protocols.
+const (
+	// OpLead proposes that the sender executes this election's cell task.
+	OpLead OpKind = "LEAD"
+	// OpYield declines to execute (insufficient GPUs, or the Global
+	// Scheduler converted the request to a yield_request).
+	OpYield OpKind = "YIELD"
+	// OpVote confirms the first committed LEAD proposal (Fig. 5 step 4).
+	OpVote OpKind = "VOTE"
+	// OpDone announces that the executor finished the cell task and
+	// carries the execution result (Fig. 5 step 7).
+	OpDone OpKind = "DONE"
+	// OpState replicates one small updated global inline (Fig. 6).
+	OpState OpKind = "STATE"
+	// OpStatePtr replicates a pointer to a large object persisted in the
+	// distributed data store (§3.2.4 "Handling Large Objects").
+	OpStatePtr OpKind = "STATEPTR"
+)
+
+// Op is one kernel log entry. Term is the election term: the per-kernel
+// execution counter, not Raft's internal term.
+type Op struct {
+	Kind    OpKind `json:"kind"`
+	Term    uint64 `json:"term"`
+	Replica int    `json:"replica"`
+
+	// OpVote: the replica being voted for.
+	VoteFor int `json:"vote_for,omitempty"`
+
+	// OpDone: execution result.
+	Status string `json:"status,omitempty"` // "ok" or "error"
+	Output string `json:"output,omitempty"`
+	EName  string `json:"ename,omitempty"`
+	EValue string `json:"evalue,omitempty"`
+
+	// OpState / OpStatePtr: replicated variable.
+	VarName string `json:"var,omitempty"`
+	// Value is the serialized pynb value (OpState only).
+	Value []byte `json:"value,omitempty"`
+	// Key locates the object in the data store (OpStatePtr only).
+	Key string `json:"key,omitempty"`
+	// Size is the object's size in bytes (OpStatePtr only).
+	Size int64 `json:"size,omitempty"`
+}
+
+// Encode serializes the op for a Raft log entry.
+func (o Op) Encode() []byte {
+	data, err := json.Marshal(o)
+	if err != nil {
+		// Op contains only marshalable fields; failure is programmer error.
+		panic(fmt.Sprintf("kernel: encode op: %v", err))
+	}
+	return data
+}
+
+// DecodeOp parses an op from a Raft log entry.
+func DecodeOp(data []byte) (Op, error) {
+	var o Op
+	if err := json.Unmarshal(data, &o); err != nil {
+		return Op{}, fmt.Errorf("kernel: decode op: %w", err)
+	}
+	if o.Kind == "" {
+		return Op{}, fmt.Errorf("kernel: op missing kind")
+	}
+	return o, nil
+}

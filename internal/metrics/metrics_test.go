@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSamplePercentiles(t *testing.T) {
+	s := NewSample()
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 100}, {50, 50.5},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := s.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("Mean = %v", got)
+	}
+	if s.Min() != 1 || s.Max() != 100 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	s := NewSample()
+	for _, v := range []float64{s.Percentile(50), s.Mean(), s.Min(), s.Max(), s.FracBelow(1)} {
+		if !math.IsNaN(v) {
+			t.Errorf("empty sample stat = %v, want NaN", v)
+		}
+	}
+	if s.CDF(10) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestFracBelow(t *testing.T) {
+	s := NewSample(1, 2, 3, 4)
+	if got := s.FracBelow(2); got != 0.5 {
+		t.Errorf("FracBelow(2) = %v, want 0.5", got)
+	}
+	if got := s.FracBelow(0.5); got != 0 {
+		t.Errorf("FracBelow(0.5) = %v, want 0", got)
+	}
+	if got := s.FracBelow(4); got != 1 {
+		t.Errorf("FracBelow(4) = %v, want 1", got)
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewSample()
+		for i := 0; i < 200; i++ {
+			s.Add(r.ExpFloat64() * 100)
+		}
+		pts := s.CDF(40)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X < pts[i-1].X || pts[i].P <= pts[i-1].P {
+				return false
+			}
+		}
+		return pts[len(pts)-1].P == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileMatchesSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(500)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		s := NewSample(xs...)
+		sort.Float64s(xs)
+		return s.Percentile(0) == xs[0] && s.Percentile(100) == xs[n-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryAndTable(t *testing.T) {
+	s := NewSample(1, 2, 3)
+	if !strings.Contains(s.Summary("ms"), "n=3") {
+		t.Error("Summary missing n")
+	}
+	tbl := FormatCDFTable([]string{"a", "b"}, []*Sample{s, s}, []float64{50, 99}, "s")
+	if !strings.Contains(tbl, "p50") || !strings.Contains(tbl, "p99") {
+		t.Errorf("table missing rows: %q", tbl)
+	}
+}
+
+var tz = time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestTimelineAtAndIntegral(t *testing.T) {
+	tl := NewTimeline()
+	tl.Set(tz, 10)                 // 10 GPUs from 0h
+	tl.Set(tz.Add(time.Hour), 20)  // 20 GPUs from 1h
+	tl.Set(tz.Add(3*time.Hour), 0) // 0 from 3h
+	if got := tl.At(tz.Add(30 * time.Minute)); got != 10 {
+		t.Errorf("At(0.5h) = %v", got)
+	}
+	if got := tl.At(tz.Add(-time.Minute)); got != 0 {
+		t.Errorf("At(before) = %v", got)
+	}
+	if got := tl.At(tz.Add(5 * time.Hour)); got != 0 {
+		t.Errorf("At(after) = %v", got)
+	}
+	// Integral over [0h, 4h] = 10*1 + 20*2 + 0*1 = 50 GPU-hours.
+	if got := tl.Integral(tz, tz.Add(4*time.Hour)); math.Abs(got-50) > 1e-9 {
+		t.Errorf("Integral = %v, want 50", got)
+	}
+	// Partial window [0.5h, 1.5h] = 10*0.5 + 20*0.5 = 15.
+	got := tl.Integral(tz.Add(30*time.Minute), tz.Add(90*time.Minute))
+	if math.Abs(got-15) > 1e-9 {
+		t.Errorf("partial Integral = %v, want 15", got)
+	}
+	if tl.Max() != 20 {
+		t.Errorf("Max = %v", tl.Max())
+	}
+	if got := tl.MeanOver(tz, tz.Add(4*time.Hour)); math.Abs(got-12.5) > 1e-9 {
+		t.Errorf("MeanOver = %v, want 12.5", got)
+	}
+}
+
+func TestTimelineDeltaAndOverwrite(t *testing.T) {
+	tl := NewTimeline()
+	tl.Delta(tz, 3)
+	tl.Delta(tz.Add(time.Minute), 2)
+	if tl.Last() != 5 {
+		t.Fatalf("Last = %v", tl.Last())
+	}
+	tl.Set(tz.Add(time.Minute), 7) // overwrite same timestamp
+	if tl.Last() != 7 || tl.Len() != 2 {
+		t.Fatalf("overwrite failed: last=%v len=%d", tl.Last(), tl.Len())
+	}
+}
+
+func TestTimelineBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on backwards time")
+		}
+	}()
+	tl := NewTimeline()
+	tl.Set(tz.Add(time.Hour), 1)
+	tl.Set(tz, 2)
+}
+
+func TestTimelineDownsampleAndFormat(t *testing.T) {
+	tl := NewTimeline()
+	tl.Set(tz, 1)
+	tl.Set(tz.Add(time.Hour), 2)
+	pts := tl.Downsample(tz, tz.Add(2*time.Hour), 5)
+	if len(pts) != 5 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].V != 1 || pts[4].V != 2 {
+		t.Fatalf("pts = %+v", pts)
+	}
+	out := FormatSeries(tz, tz.Add(2*time.Hour), 3, []string{"gpus"}, []*Timeline{tl})
+	if !strings.Contains(out, "gpus") {
+		t.Errorf("FormatSeries = %q", out)
+	}
+}
+
+// Property: integral of a non-negative step function is additive over
+// adjacent windows.
+func TestIntegralAdditiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tl := NewTimeline()
+		cur := tz
+		for i := 0; i < 50; i++ {
+			cur = cur.Add(time.Duration(1+r.Intn(3600)) * time.Second)
+			tl.Set(cur, float64(r.Intn(100)))
+		}
+		mid := tz.Add(12 * time.Hour)
+		end := tz.Add(48 * time.Hour)
+		whole := tl.Integral(tz, end)
+		parts := tl.Integral(tz, mid) + tl.Integral(mid, end)
+		return math.Abs(whole-parts) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBillingModel(t *testing.T) {
+	b := Billing{ServerHourlyUSD: 10, GPUsPerServer: 8, UserMultiplier: 1.15, StandbyFraction: 0.125}
+	// Paper example: standby replica on a $10/hr VM is $1.44/hr (rounded).
+	if got := b.StandbyRevenue(1); math.Abs(got-1.4375) > 1e-9 {
+		t.Errorf("StandbyRevenue(1h) = %v, want 1.4375", got)
+	}
+	// Paper example: 4 of 8 GPUs is $5.75/hr, i.e. 4 GPU-hours in one hour.
+	if got := b.ActiveRevenue(4); math.Abs(got-5.75) > 1e-9 {
+		t.Errorf("ActiveRevenue(4 gpu-h) = %v, want 5.75", got)
+	}
+	if got := b.ProviderCost(3); math.Abs(got-30) > 1e-9 {
+		t.Errorf("ProviderCost = %v", got)
+	}
+	if got := b.ReservationRevenue(8); math.Abs(got-11.5) > 1e-9 {
+		t.Errorf("ReservationRevenue(8) = %v, want 11.5", got)
+	}
+	if got := ProfitMargin(200, 100); got != 50 {
+		t.Errorf("ProfitMargin = %v", got)
+	}
+	if got := ProfitMargin(0, 100); got != 0 {
+		t.Errorf("ProfitMargin(0 revenue) = %v", got)
+	}
+	d := DefaultBilling()
+	if d.GPUsPerServer != 8 || d.UserMultiplier != 1.15 {
+		t.Errorf("DefaultBilling = %+v", d)
+	}
+}

@@ -1,0 +1,178 @@
+// Package metrics provides the measurement primitives used throughout the
+// evaluation: latency/duration samples with percentiles and CDFs, step
+// timelines with time integrals (GPU-hours), and the provider billing model
+// from the paper's simulation study (§5.5.1).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample accumulates float64 observations and answers percentile and CDF
+// queries. It is not safe for concurrent use; each goroutine should own its
+// own Sample or callers must synchronize.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns an empty sample, optionally seeded with xs.
+func NewSample(xs ...float64) *Sample {
+	s := &Sample{}
+	s.Add(xs...)
+	return s
+}
+
+// Add records one or more observations.
+func (s *Sample) Add(xs ...float64) {
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between order statistics. It returns NaN on an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or NaN on an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Min returns the smallest observation, or NaN on an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	return s.xs[0]
+}
+
+// Max returns the largest observation, or NaN on an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	return s.xs[len(s.xs)-1]
+}
+
+// Sum returns the sum of all observations.
+func (s *Sample) Sum() float64 {
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum
+}
+
+// FracBelow returns the empirical CDF at x: the fraction of observations <= x.
+func (s *Sample) FracBelow(x float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	i := sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(s.xs))
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	P float64 // cumulative probability in [0, 1]
+}
+
+// CDF returns n evenly spaced (in probability) points of the empirical CDF,
+// suitable for plotting the paper's CDF figures.
+func (s *Sample) CDF(n int) []CDFPoint {
+	if len(s.xs) == 0 || n <= 0 {
+		return nil
+	}
+	s.sort()
+	pts := make([]CDFPoint, 0, n)
+	for i := 0; i < n; i++ {
+		p := float64(i+1) / float64(n)
+		idx := int(p*float64(len(s.xs))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		pts = append(pts, CDFPoint{X: s.xs[idx], P: p})
+	}
+	return pts
+}
+
+// Summary renders the canonical percentile row used across EXPERIMENTS.md.
+func (s *Sample) Summary(unit string) string {
+	if s.N() == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d p50=%.2f%s p75=%.2f%s p90=%.2f%s p95=%.2f%s p99=%.2f%s max=%.2f%s",
+		s.N(),
+		s.Percentile(50), unit, s.Percentile(75), unit, s.Percentile(90), unit,
+		s.Percentile(95), unit, s.Percentile(99), unit, s.Max(), unit)
+}
+
+// Values returns a copy of the observations in sorted order.
+func (s *Sample) Values() []float64 {
+	s.sort()
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+// FormatCDFTable renders named CDFs side by side at the given percentiles —
+// the textual equivalent of the paper's multi-series CDF plots.
+func FormatCDFTable(names []string, samples []*Sample, percentiles []float64, unit string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "pct")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%16s", n)
+	}
+	b.WriteByte('\n')
+	for _, p := range percentiles {
+		fmt.Fprintf(&b, "p%-7g", p)
+		for _, s := range samples {
+			fmt.Fprintf(&b, "%14.2f%s", s.Percentile(p), unit)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Timeline is a right-continuous step function of time: the value set at
+// time t holds until the next point. It backs every "X over time" figure in
+// the paper (provisioned GPUs, subscription ratio, active sessions, cost).
+type Timeline struct {
+	times  []time.Time
+	values []float64
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Set records value v at time t. Times must be non-decreasing; setting at
+// the same timestamp overwrites the previous value at that timestamp.
+func (tl *Timeline) Set(t time.Time, v float64) {
+	n := len(tl.times)
+	if n > 0 && t.Before(tl.times[n-1]) {
+		panic(fmt.Sprintf("metrics: timeline time moved backwards: %v < %v", t, tl.times[n-1]))
+	}
+	if n > 0 && t.Equal(tl.times[n-1]) {
+		tl.values[n-1] = v
+		return
+	}
+	tl.times = append(tl.times, t)
+	tl.values = append(tl.values, v)
+}
+
+// Delta adds d to the current value at time t (starting from 0).
+func (tl *Timeline) Delta(t time.Time, d float64) {
+	tl.Set(t, tl.Last()+d)
+}
+
+// Last returns the most recent value, or 0 if empty.
+func (tl *Timeline) Last() float64 {
+	if len(tl.values) == 0 {
+		return 0
+	}
+	return tl.values[len(tl.values)-1]
+}
+
+// Len returns the number of recorded points.
+func (tl *Timeline) Len() int { return len(tl.times) }
+
+// At returns the value in effect at time t (0 before the first point).
+func (tl *Timeline) At(t time.Time) float64 {
+	// Binary search for the last point with time <= t.
+	lo, hi := 0, len(tl.times)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tl.times[mid].After(t) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return tl.values[lo-1]
+}
+
+// Integral returns the time integral of the step function over [from, to],
+// expressed in value-hours. Integrating a GPUs-provisioned timeline yields
+// GPU-hours, the paper's headline savings unit.
+func (tl *Timeline) Integral(from, to time.Time) float64 {
+	if !to.After(from) || len(tl.times) == 0 {
+		return 0
+	}
+	var total float64
+	cur := from
+	curVal := tl.At(from)
+	for i, ti := range tl.times {
+		if !ti.After(cur) {
+			continue
+		}
+		if ti.After(to) {
+			break
+		}
+		total += curVal * ti.Sub(cur).Hours()
+		cur = ti
+		curVal = tl.values[i]
+	}
+	total += curVal * to.Sub(cur).Hours()
+	return total
+}
+
+// Max returns the maximum recorded value (0 if empty).
+func (tl *Timeline) Max() float64 {
+	var m float64
+	for _, v := range tl.values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MeanOver returns the time-weighted mean over [from, to].
+func (tl *Timeline) MeanOver(from, to time.Time) float64 {
+	h := to.Sub(from).Hours()
+	if h <= 0 {
+		return math.NaN()
+	}
+	return tl.Integral(from, to) / h
+}
+
+// SamplePoint is one downsampled timeline point.
+type SamplePoint struct {
+	T time.Time
+	V float64
+}
+
+// Downsample returns the timeline evaluated at n evenly spaced instants in
+// [from, to], for compact textual plots.
+func (tl *Timeline) Downsample(from, to time.Time, n int) []SamplePoint {
+	if n <= 1 || !to.After(from) {
+		return nil
+	}
+	step := to.Sub(from) / time.Duration(n-1)
+	out := make([]SamplePoint, 0, n)
+	for i := 0; i < n; i++ {
+		t := from.Add(step * time.Duration(i))
+		out = append(out, SamplePoint{T: t, V: tl.At(t)})
+	}
+	return out
+}
+
+// FormatSeries renders named timelines sampled at n instants as a table
+// whose first column is hours since from — the textual analogue of the
+// paper's timeline figures.
+func FormatSeries(from, to time.Time, n int, names []string, tls []*Timeline) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "hour")
+	for _, name := range names {
+		fmt.Fprintf(&b, "%14s", name)
+	}
+	b.WriteByte('\n')
+	if n <= 1 {
+		return b.String()
+	}
+	step := to.Sub(from) / time.Duration(n-1)
+	for i := 0; i < n; i++ {
+		t := from.Add(step * time.Duration(i))
+		fmt.Fprintf(&b, "%-10.2f", t.Sub(from).Hours())
+		for _, tl := range tls {
+			fmt.Fprintf(&b, "%14.2f", tl.At(t))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

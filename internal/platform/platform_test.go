@@ -1,0 +1,165 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"notebookos/internal/resources"
+)
+
+func gpuReq(n int) resources.Spec {
+	return resources.Spec{Millicpus: int64(n+1) * 2000, MemoryMB: int64(n+1) * 8192, GPUs: n, VRAMGB: float64(n) * 16}
+}
+
+func newPlatform(t *testing.T, opts ...func(*Config)) *Platform {
+	t.Helper()
+	cfg := Config{Hosts: 4, TimeScale: 0.001, Seed: 3}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Stop)
+	return p
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	p := newPlatform(t)
+	s, err := p.CreateSession("alice", gpuReq(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID == "" || s.KernelID == "" {
+		t.Fatalf("session = %+v", s)
+	}
+	got, ok := p.Session(s.ID)
+	if !ok || got != s {
+		t.Fatal("Session lookup")
+	}
+	if len(p.Sessions()) != 1 {
+		t.Fatal("Sessions list")
+	}
+	if err := p.CloseSession(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CloseSession(s.ID); err == nil {
+		t.Fatal("double close must fail")
+	}
+	if p.Cluster.SubscribedGPUs() != 0 {
+		t.Fatal("subscriptions must be released")
+	}
+}
+
+func TestExecuteSyncRoundTrip(t *testing.T) {
+	p := newPlatform(t)
+	s, err := p.CreateSession("alice", gpuReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := p.ExecuteSync(s.ID, "x = 2 ** 6\nprint(x)\n", 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Status != "ok" || !strings.Contains(reply.Output, "64") {
+		t.Fatalf("reply = %+v", reply)
+	}
+}
+
+func TestExecuteTrainingCell(t *testing.T) {
+	p := newPlatform(t)
+	s, err := p.CreateSession("bob", gpuReq(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := "m = create_model(\"resnet18\")\nd = load_dataset(\"cifar10\")\nr = train(m, d, epochs=1, gpus=2, seconds=2)\nprint(r.loss)\n"
+	reply, err := p.ExecuteSync(s.ID, code, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Status != "ok" {
+		t.Fatalf("reply = %+v", reply)
+	}
+	// GPUs must be fully released once the task completes (§3.3).
+	if got := p.Cluster.CommittedGPUs(); got != 0 {
+		t.Fatalf("committed GPUs after task = %d", got)
+	}
+}
+
+func TestStatePersistsAcrossCells(t *testing.T) {
+	p := newPlatform(t)
+	s, _ := p.CreateSession("carol", gpuReq(1))
+	if _, err := p.ExecuteSync(s.ID, "total = 5\n", 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Even if another replica executes the next cell, Raft-synchronized
+	// state makes `total` visible.
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		reply, err := p.ExecuteSync(s.ID, "total = total + 1\nprint(total)\n", 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.Status == "ok" {
+			if !strings.Contains(reply.Output, "6") {
+				t.Fatalf("output = %q", reply.Output)
+			}
+			return
+		}
+		// The winning replica may not have received replicated state yet;
+		// retry briefly (same behaviour a user would see on racing cells).
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("state never became visible")
+}
+
+func TestSubscribeReceivesReplies(t *testing.T) {
+	p := newPlatform(t)
+	s, _ := p.CreateSession("dave", gpuReq(1))
+	ch, cancel := p.Subscribe(s.ID)
+	defer cancel()
+	if _, err := p.ExecuteAsync(s.ID, "x = 1\n"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-ch:
+		content, err := msg.ParseExecuteReply()
+		if err != nil || content.Status != "ok" {
+			t.Fatalf("reply = %+v, %v", content, err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("no reply on subscription")
+	}
+}
+
+func TestStatusSnapshot(t *testing.T) {
+	p := newPlatform(t)
+	if _, err := p.CreateSession("eve", gpuReq(2)); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Status()
+	if st.TotalGPUs != 32 || len(st.Hosts) != 4 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.SubscribedGPUs != 6 {
+		t.Fatalf("subscribed = %d, want 6 (3 replicas x 2)", st.SubscribedGPUs)
+	}
+	if st.Sessions != 1 || st.ReplicasPerKernel != 3 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestUnknownSessionErrors(t *testing.T) {
+	p := newPlatform(t)
+	if _, err := p.ExecuteAsync("nope", "x=1\n"); err == nil {
+		t.Fatal("unknown session must fail")
+	}
+	if _, err := p.ExecuteSync("nope", "x=1\n", time.Second); err == nil {
+		t.Fatal("unknown session must fail")
+	}
+	if _, err := p.CreateSession("x", resources.Spec{GPUs: -1}); err == nil {
+		t.Fatal("invalid request must fail")
+	}
+}

@@ -1,0 +1,113 @@
+package pynb
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// wireValue is the JSON envelope for serialized values. Kernel replicas
+// serialize updated globals into Raft log entries (small values) or the
+// distributed data store (large values) using this format.
+type wireValue struct {
+	T       string               `json:"t"`
+	Int     int64                `json:"i,omitempty"`
+	Float   float64              `json:"f,omitempty"`
+	Str     string               `json:"s,omitempty"`
+	Bool    bool                 `json:"b,omitempty"`
+	Elems   []json.RawMessage    `json:"e,omitempty"`
+	Class   string               `json:"c,omitempty"`
+	Payload int64                `json:"p,omitempty"`
+	Fields  map[string]wireValue `json:"fl,omitempty"`
+}
+
+// EncodeValue serializes a value. Builtins cannot be serialized.
+func EncodeValue(v Value) ([]byte, error) {
+	w, err := toWire(v)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(w)
+}
+
+// DecodeValue parses a value serialized by EncodeValue.
+func DecodeValue(data []byte) (Value, error) {
+	var w wireValue
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("pynb: decode: %w", err)
+	}
+	return fromWire(w)
+}
+
+func toWire(v Value) (wireValue, error) {
+	switch x := v.(type) {
+	case Int:
+		return wireValue{T: "int", Int: int64(x)}, nil
+	case Float:
+		return wireValue{T: "float", Float: float64(x)}, nil
+	case Str:
+		return wireValue{T: "str", Str: string(x)}, nil
+	case Bool:
+		return wireValue{T: "bool", Bool: bool(x)}, nil
+	case None:
+		return wireValue{T: "none"}, nil
+	case *List:
+		w := wireValue{T: "list"}
+		for _, e := range x.Elems {
+			b, err := EncodeValue(e)
+			if err != nil {
+				return wireValue{}, err
+			}
+			w.Elems = append(w.Elems, b)
+		}
+		return w, nil
+	case *Object:
+		w := wireValue{T: "obj", Class: x.Class, Payload: x.Payload, Fields: map[string]wireValue{}}
+		for k, f := range x.Fields {
+			fw, err := toWire(f)
+			if err != nil {
+				return wireValue{}, err
+			}
+			w.Fields[k] = fw
+		}
+		return w, nil
+	default:
+		return wireValue{}, fmt.Errorf("pynb: cannot serialize %s", v.Type())
+	}
+}
+
+func fromWire(w wireValue) (Value, error) {
+	switch w.T {
+	case "int":
+		return Int(w.Int), nil
+	case "float":
+		return Float(w.Float), nil
+	case "str":
+		return Str(w.Str), nil
+	case "bool":
+		return Bool(w.Bool), nil
+	case "none":
+		return None{}, nil
+	case "list":
+		lst := &List{}
+		for _, raw := range w.Elems {
+			e, err := DecodeValue(raw)
+			if err != nil {
+				return nil, err
+			}
+			lst.Elems = append(lst.Elems, e)
+		}
+		return lst, nil
+	case "obj":
+		o := NewObject(w.Class, w.Payload)
+		for k, fw := range w.Fields {
+			f, err := fromWire(fw)
+			if err != nil {
+				return nil, err
+			}
+			o.Fields[k] = f
+		}
+		return o, nil
+	default:
+		return nil, fmt.Errorf("pynb: unknown wire type %q", w.T)
+	}
+}

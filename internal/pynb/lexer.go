@@ -1,0 +1,273 @@
+package pynb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SyntaxError reports a lexing or parsing failure with position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("pynb: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes source code, producing INDENT/DEDENT tokens from leading
+// whitespace the way CPython's tokenizer does.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src, line: 1, col: 1, indents: []int{0}}
+	if err := l.run(); err != nil {
+		return nil, err
+	}
+	return l.toks, nil
+}
+
+type lexer struct {
+	src     string
+	pos     int
+	line    int
+	col     int
+	toks    []Token
+	indents []int
+	// parenDepth tracks bracket nesting: newlines inside brackets are
+	// insignificant, as in Python.
+	parenDepth  int
+	atLineStart bool
+}
+
+func (l *lexer) run() error {
+	l.atLineStart = true
+	for l.pos < len(l.src) {
+		if l.atLineStart && l.parenDepth == 0 {
+			if err := l.handleIndent(); err != nil {
+				return err
+			}
+			if l.pos >= len(l.src) {
+				break
+			}
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.consumeNewline()
+		case c == ' ' || c == '\t' || c == '\r':
+			l.advance(1)
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case isDigit(c):
+			if err := l.lexNumber(); err != nil {
+				return err
+			}
+		case c == '"' || c == '\'':
+			if err := l.lexString(c); err != nil {
+				return err
+			}
+		case isIdentStart(c):
+			l.lexIdent()
+		default:
+			if !l.lexOperator() {
+				return errAt(l.line, l.col, "unexpected character %q", string(c))
+			}
+		}
+	}
+	// Close the final line and any open indentation.
+	if len(l.toks) > 0 && l.toks[len(l.toks)-1].Kind != TokNewline {
+		l.emit(TokNewline, "\n")
+	}
+	for len(l.indents) > 1 {
+		l.indents = l.indents[:len(l.indents)-1]
+		l.emit(TokDedent, "")
+	}
+	l.emit(TokEOF, "")
+	return nil
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) emit(kind TokKind, text string) {
+	l.toks = append(l.toks, Token{Kind: kind, Text: text, Line: l.line, Col: l.col})
+}
+
+func (l *lexer) consumeNewline() {
+	if l.parenDepth > 0 {
+		l.advance(1)
+		return
+	}
+	// Collapse blank lines: only emit NEWLINE if the line had content.
+	if len(l.toks) > 0 {
+		last := l.toks[len(l.toks)-1].Kind
+		if last != TokNewline && last != TokIndent && last != TokDedent {
+			l.emit(TokNewline, "\n")
+		}
+	}
+	l.advance(1)
+	l.atLineStart = true
+}
+
+// handleIndent measures leading spaces at a line start and emits
+// INDENT/DEDENT tokens. Tabs count as 8 columns, like CPython.
+func (l *lexer) handleIndent() error {
+	width := 0
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ':
+			width++
+			l.advance(1)
+		case '\t':
+			width += 8 - width%8
+			l.advance(1)
+		case '\r':
+			l.advance(1)
+		default:
+			goto measured
+		}
+	}
+measured:
+	l.atLineStart = false
+	if l.pos >= len(l.src) {
+		return nil
+	}
+	// Blank or comment-only lines do not affect indentation.
+	if l.src[l.pos] == '\n' || l.src[l.pos] == '#' {
+		return nil
+	}
+	cur := l.indents[len(l.indents)-1]
+	switch {
+	case width > cur:
+		l.indents = append(l.indents, width)
+		l.emit(TokIndent, "")
+	case width < cur:
+		for len(l.indents) > 1 && l.indents[len(l.indents)-1] > width {
+			l.indents = l.indents[:len(l.indents)-1]
+			l.emit(TokDedent, "")
+		}
+		if l.indents[len(l.indents)-1] != width {
+			return errAt(l.line, l.col, "inconsistent dedent")
+		}
+	}
+	return nil
+}
+
+func (l *lexer) lexNumber() error {
+	startLine, startCol := l.line, l.col
+	start := l.pos
+	isFloat := false
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' || l.src[l.pos] == '_') {
+		if l.src[l.pos] == '.' {
+			if isFloat {
+				return errAt(l.line, l.col, "malformed number")
+			}
+			// A trailing '.' followed by an identifier is attribute access
+			// on an int literal; we do not support that, so require digits.
+			if l.pos+1 >= len(l.src) || !isDigit(l.src[l.pos+1]) {
+				break
+			}
+			isFloat = true
+		}
+		l.advance(1)
+	}
+	text := strings.ReplaceAll(l.src[start:l.pos], "_", "")
+	kind := TokInt
+	if isFloat {
+		kind = TokFloat
+	}
+	l.toks = append(l.toks, Token{Kind: kind, Text: text, Line: startLine, Col: startCol})
+	return nil
+}
+
+func (l *lexer) lexString(quote byte) error {
+	startLine, startCol := l.line, l.col
+	l.advance(1) // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.advance(1)
+			l.toks = append(l.toks, Token{Kind: TokString, Text: b.String(), Line: startLine, Col: startCol})
+			return nil
+		case '\n':
+			return errAt(startLine, startCol, "unterminated string")
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return errAt(l.line, l.col, "dangling escape")
+			}
+			esc := l.src[l.pos+1]
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\':
+				b.WriteByte('\\')
+			case '\'':
+				b.WriteByte('\'')
+			case '"':
+				b.WriteByte('"')
+			default:
+				return errAt(l.line, l.col, "unknown escape \\%c", esc)
+			}
+			l.advance(2)
+		default:
+			b.WriteByte(c)
+			l.advance(1)
+		}
+	}
+	return errAt(startLine, startCol, "unterminated string")
+}
+
+func (l *lexer) lexIdent() {
+	startLine, startCol := l.line, l.col
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.advance(1)
+	}
+	text := l.src[start:l.pos]
+	kind := TokIdent
+	if keywords[text] {
+		kind = TokKeyword
+	}
+	l.toks = append(l.toks, Token{Kind: kind, Text: text, Line: startLine, Col: startCol})
+}
+
+func (l *lexer) lexOperator() bool {
+	for _, op := range operators {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			switch op {
+			case "(", "[", "{":
+				l.parenDepth++
+			case ")", "]", "}":
+				if l.parenDepth > 0 {
+					l.parenDepth--
+				}
+			}
+			l.toks = append(l.toks, Token{Kind: TokOp, Text: op, Line: l.line, Col: l.col})
+			l.advance(len(op))
+			return true
+		}
+	}
+	return false
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

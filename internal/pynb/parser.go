@@ -1,0 +1,497 @@
+package pynb
+
+import (
+	"strconv"
+)
+
+// Parse lexes and parses source code into a Module.
+func Parse(src string) (*Module, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseModule()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = kind.String()
+		}
+		return t, errAt(t.Line, t.Col, "expected %s, found %s", want, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	m := &Module{pos: pos{1, 1}}
+	for !p.at(TokEOF, "") {
+		if p.accept(TokNewline, "") {
+			continue
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		m.Stmts = append(m.Stmts, s)
+	}
+	return m, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "if":
+			return p.parseIf()
+		case "for":
+			return p.parseFor()
+		case "pass":
+			p.next()
+			if _, err := p.expect(TokNewline, ""); err != nil {
+				return nil, err
+			}
+			return &PassStmt{pos{t.Line, t.Col}}, nil
+		case "break":
+			p.next()
+			if _, err := p.expect(TokNewline, ""); err != nil {
+				return nil, err
+			}
+			return &BreakStmt{pos{t.Line, t.Col}}, nil
+		case "continue":
+			p.next()
+			if _, err := p.expect(TokNewline, ""); err != nil {
+				return nil, err
+			}
+			return &ContinueStmt{pos{t.Line, t.Col}}, nil
+		}
+	}
+	return p.parseSimpleStmt()
+}
+
+// parseSimpleStmt parses assignment or expression statements.
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	t := p.cur()
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	// Augmented assignment.
+	for _, op := range []string{"+=", "-=", "*=", "/="} {
+		if p.accept(TokOp, op) {
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := validAssignTarget(lhs); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokNewline, ""); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{pos{t.Line, t.Col}, lhs, op[:1], rhs}, nil
+		}
+	}
+	if p.accept(TokOp, "=") {
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := validAssignTarget(lhs); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokNewline, ""); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{pos{t.Line, t.Col}, lhs, "", rhs}, nil
+	}
+	if _, err := p.expect(TokNewline, ""); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{pos{t.Line, t.Col}, lhs}, nil
+}
+
+func validAssignTarget(e Expr) error {
+	switch e.(type) {
+	case *NameExpr, *IndexExpr:
+		return nil
+	default:
+		l, c := e.Pos()
+		return errAt(l, c, "invalid assignment target")
+	}
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	t, _ := p.expect(TokKeyword, "if")
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	node := &IfStmt{pos{t.Line, t.Col}, cond, body, nil}
+	if p.at(TokKeyword, "elif") {
+		// Rewrite `elif` as `else: if ...` by patching the token.
+		p.toks[p.pos].Text = "if"
+		els, err := p.parseIf()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = []Stmt{els}
+	} else if p.accept(TokKeyword, "else") {
+		els, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = els
+	}
+	return node, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	t, _ := p.expect(TokKeyword, "for")
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "in"); err != nil {
+		return nil, err
+	}
+	iter, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{pos{t.Line, t.Col}, name.Text, iter, body}, nil
+}
+
+// parseBlock parses `: NEWLINE INDENT stmts DEDENT`.
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(TokOp, ":"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokNewline, ""); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokIndent, ""); err != nil {
+		return nil, err
+	}
+	var body []Stmt
+	for !p.at(TokDedent, "") && !p.at(TokEOF, "") {
+		if p.accept(TokNewline, "") {
+			continue
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+	if _, err := p.expect(TokDedent, ""); err != nil {
+		return nil, err
+	}
+	if len(body) == 0 {
+		t := p.cur()
+		return nil, errAt(t.Line, t.Col, "empty block")
+	}
+	return body, nil
+}
+
+// Expression grammar, lowest to highest precedence:
+//
+//	or > and > not > comparison > additive > multiplicative > unary-minus
+//	> power > postfix (call, index, attribute) > atom
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokKeyword, "or") {
+		t := p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BoolOp{pos{t.Line, t.Col}, "or", l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokKeyword, "and") {
+		t := p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BoolOp{pos{t.Line, t.Col}, "and", l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.at(TokKeyword, "not") {
+		t := p.next()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryOp{pos{t.Line, t.Col}, "not", x}, nil
+	}
+	return p.parseComparison()
+}
+
+var compareOps = map[string]bool{"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokOp && compareOps[p.cur().Text] {
+		t := p.next()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Compare{pos{t.Line, t.Col}, t.Text, l, r}, nil
+	}
+	// Membership test `x in xs` is parsed as a comparison.
+	if p.at(TokKeyword, "in") {
+		t := p.next()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Compare{pos{t.Line, t.Col}, "in", l, r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOp, "+") || p.at(TokOp, "-") {
+		t := p.next()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{pos{t.Line, t.Col}, t.Text, l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOp, "*") || p.at(TokOp, "/") || p.at(TokOp, "//") || p.at(TokOp, "%") {
+		t := p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{pos{t.Line, t.Col}, t.Text, l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.at(TokOp, "-") {
+		t := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryOp{pos{t.Line, t.Col}, "-", x}, nil
+	}
+	return p.parsePower()
+}
+
+func (p *parser) parsePower() (Expr, error) {
+	l, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(TokOp, "**") {
+		t := p.next()
+		// Exponentiation is right-associative.
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{pos{t.Line, t.Col}, "**", l, r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(TokOp, "("):
+			t := p.next()
+			call := &CallExpr{pos: pos{t.Line, t.Col}, Func: x}
+			for !p.at(TokOp, ")") {
+				// Keyword arguments look like IDENT '=' expr.
+				if p.cur().Kind == TokIdent && p.toks[p.pos+1].Kind == TokOp && p.toks[p.pos+1].Text == "=" {
+					name := p.next().Text
+					p.next() // '='
+					v, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Kwargs = append(call.Kwargs, Kwarg{Name: name, Value: v})
+				} else {
+					if len(call.Kwargs) > 0 {
+						tt := p.cur()
+						return nil, errAt(tt.Line, tt.Col, "positional argument after keyword argument")
+					}
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+				}
+				if !p.accept(TokOp, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			x = call
+		case p.at(TokOp, "["):
+			t := p.next()
+			i, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokOp, "]"); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{pos{t.Line, t.Col}, x, i}
+		case p.at(TokOp, "."):
+			t := p.next()
+			name, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			x = &AttrExpr{pos{t.Line, t.Col}, x, name.Text}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errAt(t.Line, t.Col, "bad integer %q", t.Text)
+		}
+		return &IntLit{pos{t.Line, t.Col}, v}, nil
+	case TokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errAt(t.Line, t.Col, "bad float %q", t.Text)
+		}
+		return &FloatLit{pos{t.Line, t.Col}, v}, nil
+	case TokString:
+		p.next()
+		return &StringLit{pos{t.Line, t.Col}, t.Text}, nil
+	case TokIdent:
+		p.next()
+		return &NameExpr{pos{t.Line, t.Col}, t.Text}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "True":
+			p.next()
+			return &BoolLit{pos{t.Line, t.Col}, true}, nil
+		case "False":
+			p.next()
+			return &BoolLit{pos{t.Line, t.Col}, false}, nil
+		case "None":
+			p.next()
+			return &NoneLit{pos{t.Line, t.Col}}, nil
+		}
+	case TokOp:
+		switch t.Text {
+		case "(":
+			p.next()
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		case "[":
+			p.next()
+			lit := &ListLit{pos: pos{t.Line, t.Col}}
+			for !p.at(TokOp, "]") {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				lit.Elems = append(lit.Elems, e)
+				if !p.accept(TokOp, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokOp, "]"); err != nil {
+				return nil, err
+			}
+			return lit, nil
+		}
+	}
+	return nil, errAt(t.Line, t.Col, "unexpected token %s", t)
+}

@@ -1,0 +1,82 @@
+// Package pynb implements a small Python-like notebook language: lexer,
+// parser, AST, interpreter, and the AST analysis NotebookOS uses for kernel
+// state replication (paper §3.2.4). The real system analyzes Python ASTs to
+// find globals mutated by a cell so they can be synchronized to standby
+// replicas via Raft; pynb reproduces that mechanism end to end for cell
+// code written in its Python subset.
+//
+// Supported syntax: assignments (including augmented and indexed),
+// expression statements, if/elif/else, for-in loops with range() or list
+// iterables, arithmetic/comparison/boolean operators, calls with keyword
+// arguments, attribute access, list and index expressions, and comments.
+package pynb
+
+import "fmt"
+
+// TokKind classifies lexical tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokNewline
+	TokIndent
+	TokDedent
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	TokKeyword
+	TokOp
+)
+
+var kindNames = map[TokKind]string{
+	TokEOF:     "EOF",
+	TokNewline: "NEWLINE",
+	TokIndent:  "INDENT",
+	TokDedent:  "DEDENT",
+	TokIdent:   "IDENT",
+	TokInt:     "INT",
+	TokFloat:   "FLOAT",
+	TokString:  "STRING",
+	TokKeyword: "KEYWORD",
+	TokOp:      "OP",
+}
+
+// String names the kind.
+func (k TokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%s(%q)@%d:%d", t.Kind, t.Text, t.Line, t.Col)
+}
+
+// keywords recognized by the lexer.
+var keywords = map[string]bool{
+	"if": true, "elif": true, "else": true, "for": true, "in": true,
+	"and": true, "or": true, "not": true,
+	"True": true, "False": true, "None": true,
+	"pass": true, "break": true, "continue": true,
+}
+
+// operators, longest first so the lexer can match greedily.
+var operators = []string{
+	"**", "//", "==", "!=", "<=", ">=",
+	"+=", "-=", "*=", "/=",
+	"+", "-", "*", "/", "%",
+	"<", ">", "=",
+	"(", ")", "[", "]", "{", "}",
+	",", ":", ".",
+}

@@ -1,0 +1,21 @@
+package raft
+
+import "encoding/json"
+
+// encodeConfChange serializes a membership change for a log entry.
+func encodeConfChange(cc ConfChange) ([]byte, error) {
+	return json.Marshal(cc)
+}
+
+// decodeConfChange parses a membership change from a log entry.
+func decodeConfChange(data []byte) (ConfChange, error) {
+	var cc ConfChange
+	err := json.Unmarshal(data, &cc)
+	return cc, err
+}
+
+// DecodeConfChange exposes conf-change decoding to applications whose
+// Apply callback wants to observe membership changes.
+func DecodeConfChange(data []byte) (ConfChange, error) {
+	return decodeConfChange(data)
+}

@@ -1,0 +1,131 @@
+package raft
+
+import "fmt"
+
+// raftLog stores the replicated log in memory, supporting compaction: a
+// prefix of the log may be replaced by a snapshot, after which entries are
+// addressed relative to the snapshot's last included index.
+type raftLog struct {
+	// snapIndex/snapTerm describe the entry the current snapshot covers up
+	// to (0/0 when no snapshot exists).
+	snapIndex uint64
+	snapTerm  uint64
+	snapshot  []byte
+	// entries holds log entries starting at index snapIndex+1.
+	entries []Entry
+}
+
+func newLog() *raftLog { return &raftLog{} }
+
+// firstIndex returns the index of the first entry physically present.
+func (l *raftLog) firstIndex() uint64 { return l.snapIndex + 1 }
+
+// lastIndex returns the index of the last entry (possibly covered only by
+// the snapshot).
+func (l *raftLog) lastIndex() uint64 {
+	return l.snapIndex + uint64(len(l.entries))
+}
+
+// term returns the term of the entry at index i, or ok=false if i is out
+// of range (compacted away below snapIndex, or beyond lastIndex).
+func (l *raftLog) term(i uint64) (uint64, bool) {
+	if i == l.snapIndex {
+		return l.snapTerm, true
+	}
+	if i < l.firstIndex() || i > l.lastIndex() {
+		return 0, false
+	}
+	return l.entries[i-l.firstIndex()].Term, true
+}
+
+// lastTerm returns the term of the last entry (snapshot term if empty).
+func (l *raftLog) lastTerm() uint64 {
+	t, _ := l.term(l.lastIndex())
+	return t
+}
+
+// entry returns the entry at index i.
+func (l *raftLog) entry(i uint64) (Entry, bool) {
+	if i < l.firstIndex() || i > l.lastIndex() {
+		return Entry{}, false
+	}
+	return l.entries[i-l.firstIndex()], true
+}
+
+// slice returns entries in [lo, hi] inclusive, copied.
+func (l *raftLog) slice(lo, hi uint64) []Entry {
+	if lo < l.firstIndex() {
+		lo = l.firstIndex()
+	}
+	if hi > l.lastIndex() {
+		hi = l.lastIndex()
+	}
+	if lo > hi {
+		return nil
+	}
+	out := make([]Entry, hi-lo+1)
+	copy(out, l.entries[lo-l.firstIndex():hi-l.firstIndex()+1])
+	return out
+}
+
+// append adds entries at the tail. Entries must already carry correct
+// Index/Term values continuing the log.
+func (l *raftLog) append(ents ...Entry) {
+	for _, e := range ents {
+		if e.Index != l.lastIndex()+1 {
+			panic(fmt.Sprintf("raft: non-contiguous append: entry %d after last %d", e.Index, l.lastIndex()))
+		}
+		l.entries = append(l.entries, e)
+	}
+}
+
+// truncateFrom removes all entries with index >= i.
+func (l *raftLog) truncateFrom(i uint64) {
+	if i <= l.snapIndex {
+		panic(fmt.Sprintf("raft: truncating into snapshot at %d (snap %d)", i, l.snapIndex))
+	}
+	if i > l.lastIndex() {
+		return
+	}
+	l.entries = l.entries[:i-l.firstIndex()]
+}
+
+// matchTerm reports whether the entry at index i has term t. Index 0 with
+// term 0 always matches (the log origin).
+func (l *raftLog) matchTerm(i, t uint64) bool {
+	if i == 0 {
+		return t == 0
+	}
+	term, ok := l.term(i)
+	return ok && term == t
+}
+
+// compact discards entries up to and including upTo, recording snapshot
+// data for that prefix. It is a no-op if upTo is not beyond the current
+// snapshot or exceeds the last index.
+func (l *raftLog) compact(upTo uint64, snapshot []byte) error {
+	if upTo <= l.snapIndex {
+		return nil
+	}
+	if upTo > l.lastIndex() {
+		return fmt.Errorf("raft: compact %d beyond last index %d", upTo, l.lastIndex())
+	}
+	t, ok := l.term(upTo)
+	if !ok {
+		return fmt.Errorf("raft: compact point %d unavailable", upTo)
+	}
+	l.entries = append([]Entry(nil), l.entries[upTo-l.firstIndex()+1:]...)
+	l.snapIndex = upTo
+	l.snapTerm = t
+	l.snapshot = snapshot
+	return nil
+}
+
+// restore replaces the entire log with a snapshot, as received from a
+// leader via InstallSnapshot.
+func (l *raftLog) restore(index, term uint64, snapshot []byte) {
+	l.snapIndex = index
+	l.snapTerm = term
+	l.snapshot = snapshot
+	l.entries = nil
+}

@@ -1,0 +1,101 @@
+package resources
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool tracks exclusive commitments against a fixed capacity. It is the
+// accounting primitive behind dynamic GPU binding (§3.3): GPUs (and the
+// rest of a replica's resource request) are committed to a replica only
+// while a cell task executes, then released.
+//
+// A Pool is safe for concurrent use.
+type Pool struct {
+	mu        sync.Mutex
+	capacity  Spec
+	committed Spec
+	holders   map[string]Spec
+}
+
+// NewPool returns a pool with the given capacity and nothing committed.
+func NewPool(capacity Spec) *Pool {
+	return &Pool{capacity: capacity, holders: make(map[string]Spec)}
+}
+
+// Capacity returns the pool's total capacity.
+func (p *Pool) Capacity() Spec {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capacity
+}
+
+// Committed returns the sum of all active commitments.
+func (p *Pool) Committed() Spec {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.committed
+}
+
+// Idle returns capacity minus commitments.
+func (p *Pool) Idle() Spec {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capacity.Sub(p.committed)
+}
+
+// CanCommit reports whether req currently fits in the pool's idle capacity.
+func (p *Pool) CanCommit(req Spec) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return req.Fits(p.capacity.Sub(p.committed))
+}
+
+// Commit exclusively binds req to holder. It fails if the holder already
+// has a commitment or if req does not fit in the idle capacity.
+func (p *Pool) Commit(holder string, req Spec) error {
+	if err := req.Validate(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.holders[holder]; ok {
+		return fmt.Errorf("resources: %q already holds a commitment", holder)
+	}
+	if !req.Fits(p.capacity.Sub(p.committed)) {
+		return fmt.Errorf("resources: insufficient idle capacity for %v (idle %v)",
+			req, p.capacity.Sub(p.committed))
+	}
+	p.holders[holder] = req
+	p.committed = p.committed.Add(req)
+	return nil
+}
+
+// Release returns holder's commitment to the pool. Releasing a holder with
+// no commitment is an error so accounting bugs surface immediately.
+func (p *Pool) Release(holder string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	req, ok := p.holders[holder]
+	if !ok {
+		return fmt.Errorf("resources: %q holds no commitment", holder)
+	}
+	delete(p.holders, holder)
+	p.committed = p.committed.Sub(req)
+	return nil
+}
+
+// Holding returns the commitment held by holder, if any.
+func (p *Pool) Holding(holder string) (Spec, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.holders[holder]
+	return s, ok
+}
+
+// Holders returns the number of active commitments.
+func (p *Pool) Holders() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.holders)
+}

@@ -1,0 +1,109 @@
+// Package resources defines the resource vectors NotebookOS schedules:
+// CPU (in millicpus), host memory (in megabytes), GPUs, and GPU memory
+// (VRAM, in gigabytes). It mirrors the resource-request argument of the
+// paper's StartKernelReplica RPC (§3.2.1) and provides the arithmetic the
+// schedulers use for capacity checks and subscription-ratio accounting.
+package resources
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Spec is a resource vector. The zero value requests nothing.
+//
+// Millicpus follow the Kubernetes convention used by the paper: 1000
+// millicpus equal one vCPU. VRAM is tracked in gigabytes because model
+// checkpoints are sized in GB.
+type Spec struct {
+	Millicpus int64   `json:"millicpus"`
+	MemoryMB  int64   `json:"memory_mb"`
+	GPUs      int     `json:"gpus"`
+	VRAMGB    float64 `json:"vram_gb"`
+}
+
+// ErrNegative is returned by Validate for specs with any negative component.
+var ErrNegative = errors.New("resources: negative component")
+
+// Validate reports whether every component of s is non-negative.
+func (s Spec) Validate() error {
+	if s.Millicpus < 0 || s.MemoryMB < 0 || s.GPUs < 0 || s.VRAMGB < 0 {
+		return fmt.Errorf("%w: %v", ErrNegative, s)
+	}
+	return nil
+}
+
+// Add returns the component-wise sum of s and t.
+func (s Spec) Add(t Spec) Spec {
+	return Spec{
+		Millicpus: s.Millicpus + t.Millicpus,
+		MemoryMB:  s.MemoryMB + t.MemoryMB,
+		GPUs:      s.GPUs + t.GPUs,
+		VRAMGB:    s.VRAMGB + t.VRAMGB,
+	}
+}
+
+// Sub returns the component-wise difference s - t. The result may have
+// negative components; callers that require non-negativity should Validate.
+func (s Spec) Sub(t Spec) Spec {
+	return Spec{
+		Millicpus: s.Millicpus - t.Millicpus,
+		MemoryMB:  s.MemoryMB - t.MemoryMB,
+		GPUs:      s.GPUs - t.GPUs,
+		VRAMGB:    s.VRAMGB - t.VRAMGB,
+	}
+}
+
+// Scale returns s with every component multiplied by k (GPUs rounded down).
+func (s Spec) Scale(k float64) Spec {
+	return Spec{
+		Millicpus: int64(float64(s.Millicpus) * k),
+		MemoryMB:  int64(float64(s.MemoryMB) * k),
+		GPUs:      int(float64(s.GPUs) * k),
+		VRAMGB:    s.VRAMGB * k,
+	}
+}
+
+// Fits reports whether s fits within capacity c, component-wise.
+func (s Spec) Fits(c Spec) bool {
+	return s.Millicpus <= c.Millicpus &&
+		s.MemoryMB <= c.MemoryMB &&
+		s.GPUs <= c.GPUs &&
+		s.VRAMGB <= c.VRAMGB
+}
+
+// IsZero reports whether s requests no resources at all.
+func (s Spec) IsZero() bool {
+	return s.Millicpus == 0 && s.MemoryMB == 0 && s.GPUs == 0 && s.VRAMGB == 0
+}
+
+// Max returns the component-wise maximum of s and t.
+func (s Spec) Max(t Spec) Spec {
+	m := s
+	if t.Millicpus > m.Millicpus {
+		m.Millicpus = t.Millicpus
+	}
+	if t.MemoryMB > m.MemoryMB {
+		m.MemoryMB = t.MemoryMB
+	}
+	if t.GPUs > m.GPUs {
+		m.GPUs = t.GPUs
+	}
+	if t.VRAMGB > m.VRAMGB {
+		m.VRAMGB = t.VRAMGB
+	}
+	return m
+}
+
+// String renders the spec compactly, e.g. "cpu=4000m mem=16384MB gpu=2 vram=32GB".
+func (s Spec) String() string {
+	return fmt.Sprintf("cpu=%dm mem=%dMB gpu=%d vram=%gGB",
+		s.Millicpus, s.MemoryMB, s.GPUs, s.VRAMGB)
+}
+
+// P316xlarge is the capacity of one 8-GPU server matching the paper's
+// evaluation hosts (AWS p3.16xlarge: 8 V100s, 64 vCPUs, 488 GB host memory,
+// 16 GB VRAM per GPU).
+func P316xlarge() Spec {
+	return Spec{Millicpus: 64_000, MemoryMB: 488 * 1024, GPUs: 8, VRAMGB: 128}
+}

@@ -1,0 +1,544 @@
+package scheduler
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"notebookos/internal/cluster"
+	"notebookos/internal/jupyter"
+	"notebookos/internal/kernel"
+	"notebookos/internal/pynb"
+	"notebookos/internal/resources"
+	"notebookos/internal/simclock"
+	"notebookos/internal/workload"
+)
+
+func gpuReq(n int) resources.Spec {
+	return resources.Spec{Millicpus: int64(n) * 4000, MemoryMB: int64(n) * 32 * 1024, GPUs: n, VRAMGB: float64(n) * 16}
+}
+
+func newCluster(t *testing.T, hosts int) *cluster.Cluster {
+	t.Helper()
+	c := cluster.New(3)
+	for i := 0; i < hosts; i++ {
+		if err := c.AddHost(cluster.NewHost(fmt.Sprintf("h%02d", i+1), resources.P316xlarge())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestLeastLoadedSelectsIdlest(t *testing.T) {
+	c := newCluster(t, 4)
+	hosts := c.Hosts()
+	// Commit GPUs on h1 and h2 so they look busy.
+	hosts[0].Commit("x", gpuReq(6))
+	hosts[1].Commit("y", gpuReq(4))
+
+	p := LeastLoaded{}
+	got, err := p.SelectHosts(c, gpuReq(2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d hosts", len(got))
+	}
+	// The two untouched hosts must come first; busiest (h1) excluded.
+	for _, h := range got {
+		if h.ID == "h01" {
+			t.Fatalf("busiest host selected: %v", ids(got))
+		}
+	}
+}
+
+func ids(hs []*cluster.Host) []string {
+	out := make([]string, len(hs))
+	for i, h := range hs {
+		out[i] = h.ID
+	}
+	return out
+}
+
+func TestLeastLoadedInsufficientHosts(t *testing.T) {
+	c := newCluster(t, 2)
+	p := LeastLoaded{}
+	if _, err := p.SelectHosts(c, gpuReq(1), 3); err == nil {
+		t.Fatal("2 hosts cannot serve 3 replicas")
+	}
+	// Requests beyond physical capacity are never viable.
+	if _, err := p.SelectHosts(c, gpuReq(9), 1); err == nil {
+		t.Fatal("9-GPU request cannot fit an 8-GPU host")
+	}
+}
+
+func TestLeastLoadedHonorsWatermark(t *testing.T) {
+	c := newCluster(t, 3)
+	// Saturate subscriptions on every host up to the watermark.
+	p := LeastLoaded{SRHighWatermark: 0.5}
+	// watermark 0.5 with R=3, G=8 means subscribed <= 12 GPUs per host.
+	for i := 0; i < 3; i++ {
+		for _, h := range c.Hosts() {
+			h.PlaceReplica(fmt.Sprintf("k%d/%s", i, h.ID), gpuReq(4))
+		}
+	}
+	// Each host now has 12 subscribed GPUs = exactly at watermark for a
+	// 0-GPU addition, over it for any more.
+	if _, err := p.SelectHosts(c, gpuReq(4), 3); err == nil {
+		t.Fatal("watermark should reject all hosts")
+	}
+}
+
+func TestRandomAndPackedPolicies(t *testing.T) {
+	c := newCluster(t, 5)
+	r := &Random{Seed: 42}
+	got, err := r.SelectHosts(c, gpuReq(1), 3)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("random: %v %v", ids(got), err)
+	}
+	seen := map[string]bool{}
+	for _, h := range got {
+		if seen[h.ID] {
+			t.Fatal("random selected duplicate host")
+		}
+		seen[h.ID] = true
+	}
+	// Packed prefers busiest viable host.
+	c.Hosts()[2].Commit("busy", gpuReq(6))
+	pk := Packed{}
+	got, err = pk.SelectHosts(c, gpuReq(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ID != "h03" {
+		t.Fatalf("packed picked %s, want h03", got[0].ID)
+	}
+	if r.Name() != "random" || pk.Name() != "packed" || (LeastLoaded{}).Name() != "least-loaded" {
+		t.Fatal("policy names")
+	}
+}
+
+func newGS(t *testing.T, hosts int, opts ...func(*Config)) *GlobalScheduler {
+	t.Helper()
+	c := newCluster(t, hosts)
+	rt := workload.NewRuntime(workload.RuntimeOptions{TimeScale: 0.001})
+	cfg := Config{
+		Cluster:             c,
+		KernelTickInterval:  4 * time.Millisecond,
+		NetMaxDelay:         time.Millisecond,
+		Seed:                5,
+		InstallRuntime:      rt.Install,
+		MigrationRetryDelay: 20 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	gs, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gs.Stop)
+	return gs
+}
+
+type replySink struct {
+	mu      sync.Mutex
+	replies []jupyter.ExecuteReplyContent
+}
+
+func (rs *replySink) onReply(session string, msg jupyter.Message) {
+	content, err := msg.ParseExecuteReply()
+	if err != nil {
+		return
+	}
+	rs.mu.Lock()
+	rs.replies = append(rs.replies, content)
+	rs.mu.Unlock()
+}
+
+func (rs *replySink) count() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return len(rs.replies)
+}
+
+func (rs *replySink) last() jupyter.ExecuteReplyContent {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.replies[len(rs.replies)-1]
+}
+
+func TestStartKernelPlacesThreeReplicas(t *testing.T) {
+	gs := newGS(t, 4)
+	if err := gs.StartKernel("k1", "sess1", gpuReq(2)); err != nil {
+		t.Fatal(err)
+	}
+	placed := 0
+	for _, h := range gs.cfg.Cluster.Hosts() {
+		placed += h.NumReplicas()
+	}
+	if placed != 3 {
+		t.Fatalf("placed %d replicas, want 3", placed)
+	}
+	if got := gs.cfg.Cluster.SubscribedGPUs(); got != 6 {
+		t.Fatalf("subscribed = %d", got)
+	}
+	events := gs.Events()
+	if len(events) != 1 || events[0].Kind != EventKernelCreated {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestExecuteRoutesAndReplies(t *testing.T) {
+	sink := &replySink{}
+	gs := newGS(t, 4, func(c *Config) { c.OnReply = sink.onReply })
+	if err := gs.StartKernel("k1", "sess1", gpuReq(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := gs.Execute("k1", "x = 41 + 1\nprint(x)\n"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sink.count() == 1 }, "one reply")
+	got := sink.last()
+	if got.Status != "ok" || !strings.Contains(got.Output, "42") {
+		t.Fatalf("reply = %+v", got)
+	}
+	// All execution commitments must be released after the reply.
+	waitFor(t, func() bool {
+		return gs.cfg.Cluster.CommittedGPUs() == 0
+	}, "commitments released")
+	st := gs.Stats()
+	if st.Executions != 1 || st.ImmediateCommits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestExecutorReuseCounted(t *testing.T) {
+	sink := &replySink{}
+	gs := newGS(t, 4, func(c *Config) { c.OnReply = sink.onReply })
+	if err := gs.StartKernel("k1", "s", gpuReq(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := gs.Execute("k1", "a = 1\n"); err != nil {
+			t.Fatal(err)
+		}
+		want := i + 1
+		waitFor(t, func() bool { return sink.count() == want }, "reply")
+	}
+	st := gs.Stats()
+	if st.Executions != 3 {
+		t.Fatalf("executions = %d", st.Executions)
+	}
+	if st.ExecutorReuse < 1 {
+		t.Fatalf("expected executor reuse, stats = %+v", st)
+	}
+}
+
+func TestExecuteUnknownKernel(t *testing.T) {
+	gs := newGS(t, 3)
+	if _, _, err := gs.Execute("nope", "x=1\n"); err == nil {
+		t.Fatal("unknown kernel must fail")
+	}
+}
+
+func TestStartKernelScalesOutWhenNeeded(t *testing.T) {
+	gs := newGS(t, 1, func(c *Config) {
+		c.HostFactory = func(n int) []*cluster.Host {
+			out := make([]*cluster.Host, n)
+			for i := range out {
+				out[i] = cluster.NewHost(fmt.Sprintf("auto%d", i), resources.P316xlarge())
+			}
+			return out
+		}
+	})
+	// One host cannot place 3 replicas: the scheduler must scale out.
+	if err := gs.StartKernel("k1", "s", gpuReq(1)); err != nil {
+		t.Fatalf("StartKernel with scale-out: %v", err)
+	}
+	if gs.cfg.Cluster.NumHosts() < 3 {
+		t.Fatalf("hosts = %d, want >= 3", gs.cfg.Cluster.NumHosts())
+	}
+	if gs.Stats().ScaleOuts == 0 {
+		t.Fatal("scale-out not recorded")
+	}
+}
+
+func TestMigrationOnSaturatedHosts(t *testing.T) {
+	sink := &replySink{}
+	gs := newGS(t, 4, func(c *Config) { c.OnReply = sink.onReply })
+	if err := gs.StartKernel("k1", "s", gpuReq(8)); err != nil {
+		t.Fatal(err)
+	}
+	// Saturate the three hosts holding k1's replicas so no replica can
+	// commit 8 GPUs: the election fails and a migration must kick in.
+	var kernelHosts []*cluster.Host
+	for _, h := range gs.cfg.Cluster.Hosts() {
+		if h.NumReplicas() > 0 {
+			kernelHosts = append(kernelHosts, h)
+		}
+	}
+	if len(kernelHosts) != 3 {
+		t.Fatalf("kernel hosts = %d", len(kernelHosts))
+	}
+	for _, h := range kernelHosts {
+		if err := h.Commit("blocker-"+h.ID, gpuReq(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := gs.Execute("k1", "v = 7\n"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sink.count() >= 1 }, "reply after migration")
+	got := sink.last()
+	if got.Status != "ok" {
+		t.Fatalf("reply = %+v", got)
+	}
+	if gs.Stats().Migrations != 1 {
+		t.Fatalf("migrations = %d, want 1", gs.Stats().Migrations)
+	}
+	// The migrated replica now lives on the fourth (previously empty) host.
+	foundOnFourth := false
+	for _, h := range gs.cfg.Cluster.Hosts() {
+		if h.NumReplicas() > 0 && h.ID == "h04" {
+			foundOnFourth = true
+		}
+	}
+	if !foundOnFourth {
+		t.Fatal("migration target should be the idle fourth host")
+	}
+}
+
+func TestMigrationAbortsWithoutTarget(t *testing.T) {
+	sink := &replySink{}
+	gs := newGS(t, 3, func(c *Config) {
+		c.OnReply = sink.onReply
+		c.MigrationRetries = 2
+		c.MigrationRetryDelay = 10 * time.Millisecond
+	})
+	if err := gs.StartKernel("k1", "s", gpuReq(8)); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range gs.cfg.Cluster.Hosts() {
+		if err := h.Commit("blocker-"+h.ID, gpuReq(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := gs.Execute("k1", "v = 7\n"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sink.count() >= 1 }, "error reply")
+	got := sink.last()
+	if got.Status != "error" || got.EName != "MigrationAborted" {
+		t.Fatalf("reply = %+v", got)
+	}
+	if gs.Stats().FailedMigrations != 1 {
+		t.Fatalf("failed migrations = %d", gs.Stats().FailedMigrations)
+	}
+}
+
+func TestAutoscalerScalesOutAndIn(t *testing.T) {
+	clock := simclock.Real{}
+	_ = clock
+	gs := newGS(t, 2, func(c *Config) {
+		c.HostFactory = func(n int) []*cluster.Host {
+			out := make([]*cluster.Host, n)
+			for i := range out {
+				out[i] = cluster.NewHost(fmt.Sprintf("auto-%d-%d", time.Now().UnixNano(), i), resources.P316xlarge())
+			}
+			return out
+		}
+		c.MinHosts = 2
+		c.ScaleFactor = 1.05
+	})
+	c := gs.cfg.Cluster
+	// Commit 20 of 16 GPUs? Impossible; commit 15 to force expansion:
+	// expected = 1.05*15 = 15.75 < 16, no scale-out. Commit 16:
+	hosts := c.Hosts()
+	hosts[0].Commit("a", gpuReq(8))
+	hosts[1].Commit("b", gpuReq(8))
+	gs.AutoscaleOnce() // expected = 16.8 > 16: add 1 host
+	if c.NumHosts() != 3 {
+		t.Fatalf("hosts = %d, want 3 after scale-out", c.NumHosts())
+	}
+	// Release everything: expected = 0, scale-in down to MinHosts.
+	hosts[0].Release("a")
+	hosts[1].Release("b")
+	gs.AutoscaleOnce()
+	if got := c.NumHosts(); got != 2 {
+		t.Fatalf("hosts = %d, want 2 after scale-in", got)
+	}
+	st := gs.Stats()
+	if st.ScaleOuts != 1 || st.ScaleIns < 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStopKernelReleasesSubscriptions(t *testing.T) {
+	gs := newGS(t, 3)
+	if err := gs.StartKernel("k1", "s", gpuReq(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gs.StopKernel("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gs.StopKernel("k1"); err == nil {
+		t.Fatal("double stop must fail")
+	}
+	if got := gs.cfg.Cluster.SubscribedGPUs(); got != 0 {
+		t.Fatalf("subscribed = %d after stop", got)
+	}
+}
+
+func TestLocalSchedulerYieldConversion(t *testing.T) {
+	h := cluster.NewHost("h1", resources.P316xlarge())
+	gs := newGS(t, 1)
+	ls, _ := gs.Local("h01")
+	if ls == nil {
+		t.Fatal("missing local scheduler")
+	}
+	_ = h
+	var got []jupyter.Message
+	var mu sync.Mutex
+	ls.RegisterReplica("k/r1", func(m jupyter.Message) error {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+		return nil
+	})
+	msg := jupyter.MustNew(jupyter.MsgExecuteRequest, "s", "u", jupyter.ExecuteRequestContent{Code: "x"})
+	// Fill the host so commitment fails -> yield conversion.
+	ls.Host.Commit("blocker", gpuReq(8))
+	lead, err := ls.ForwardExecute("k/r1", "k/r1/t1", msg, gpuReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lead {
+		t.Fatal("lead should be false on a saturated host")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].Header.MsgType != jupyter.MsgYieldRequest {
+		t.Fatalf("delivered = %+v", got)
+	}
+}
+
+func TestWorkloadRuntimeTrain(t *testing.T) {
+	sink := &replySink{}
+	gs := newGS(t, 3, func(c *Config) { c.OnReply = sink.onReply })
+	if err := gs.StartKernel("k1", "s", gpuReq(2)); err != nil {
+		t.Fatal(err)
+	}
+	code := "model = create_model(\"resnet18\")\ndata = load_dataset(\"cifar10\")\nr = train(model, data, epochs=2, gpus=2, seconds=1)\nprint(r.loss)\n"
+	if _, _, err := gs.Execute("k1", code); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sink.count() == 1 }, "train reply")
+	got := sink.last()
+	if got.Status != "ok" {
+		t.Fatalf("reply = %+v", got)
+	}
+	// Model state (large object) must replicate to standby replicas.
+	gs.mu.Lock()
+	ks := gs.kernels["k1"]
+	gs.mu.Unlock()
+	waitFor(t, func() bool {
+		for _, r := range ks.k.Replicas() {
+			v, ok := r.Global("model")
+			if !ok {
+				return false
+			}
+			obj, ok := v.(*pynb.Object)
+			if !ok || obj.Fields["epochs_trained"] != pynb.Int(2) {
+				return false
+			}
+		}
+		return true
+	}, "model replicated to all replicas")
+}
+
+func TestReplicaKeyAndHolder(t *testing.T) {
+	if replicaKey("k", 2) != "k/r2" {
+		t.Fatal(replicaKey("k", 2))
+	}
+	if execHolder("k", 2, 9) != "k/r2/t9" {
+		t.Fatal(execHolder("k", 2, 9))
+	}
+}
+
+func TestKernelStatsExposed(t *testing.T) {
+	gs := newGS(t, 3)
+	if err := gs.StartKernel("k1", "s", gpuReq(1)); err != nil {
+		t.Fatal(err)
+	}
+	gs.mu.Lock()
+	ks := gs.kernels["k1"]
+	gs.mu.Unlock()
+	if ks.k.NumReplicas() != 3 {
+		t.Fatal("kernel should have 3 replicas")
+	}
+	var _ *kernel.Kernel = ks.k
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestHeartbeatRecoveryAfterReplicaFailure(t *testing.T) {
+	sink := &replySink{}
+	gs := newGS(t, 3, func(c *Config) { c.OnReply = sink.onReply })
+	if err := gs.StartKernel("k1", "s", gpuReq(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := gs.Execute("k1", "important = 99\n"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sink.count() == 1 }, "pre-failure reply")
+
+	// Fail-stop one replica (paper §3.2.5: a single replica failure is
+	// tolerated and repaired).
+	gs.mu.Lock()
+	ks := gs.kernels["k1"]
+	gs.mu.Unlock()
+	victim := ks.k.Replicas()[1]
+	// Wait for the state to reach the victim so its checkpoint carries it.
+	waitFor(t, func() bool {
+		v, ok := victim.Global("important")
+		return ok && v == pynb.Int(99)
+	}, "state on victim")
+	victim.Stop()
+	if victim.Alive() {
+		t.Fatal("stopped replica still alive")
+	}
+
+	gs.CheckHeartbeatsOnce()
+	if got := gs.Stats().Recoveries; got != 1 {
+		t.Fatalf("recoveries = %d, want 1", got)
+	}
+	// The replacement must be alive and carry the restored state.
+	replacement := ks.k.Replicas()[1]
+	if !replacement.Alive() || replacement == victim {
+		t.Fatal("replica not replaced")
+	}
+	if v, _ := replacement.Global("important"); v != pynb.Int(99) {
+		t.Fatalf("restored state = %v", v)
+	}
+	// The kernel still executes cells after recovery.
+	if _, _, err := gs.Execute("k1", "important = important + 1\nprint(important)\n"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sink.count() == 2 }, "post-recovery reply")
+	if got := sink.last(); got.Status != "ok" || !strings.Contains(got.Output, "100") {
+		t.Fatalf("post-recovery reply = %+v", got)
+	}
+}

@@ -1,0 +1,854 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"notebookos/internal/cluster"
+	"notebookos/internal/des"
+	"notebookos/internal/metrics"
+	"notebookos/internal/resources"
+	"notebookos/internal/scheduler"
+	"notebookos/internal/trace"
+	"notebookos/internal/workload"
+)
+
+// Policy selects the scheduling baseline being simulated (§5.1.1).
+type Policy string
+
+// The four evaluated policies.
+const (
+	// PolicyReservation reserves GPUs for each session's entire lifetime
+	// (current notebook platforms).
+	PolicyReservation Policy = "reservation"
+	// PolicyBatch provisions a fresh container per submission, FCFS.
+	PolicyBatch Policy = "batch"
+	// PolicyNotebookOS is the full system: 3 replicas, oversubscription,
+	// dynamic GPU binding, migration, autoscaling.
+	PolicyNotebookOS Policy = "notebookos"
+	// PolicyLCP is NotebookOS (LCP): a large warm-container pool with
+	// per-task state warm-up instead of replicated kernels.
+	PolicyLCP Policy = "notebookos-lcp"
+)
+
+// Step identifies a request-path stage from Fig. 15 for the latency
+// breakdowns of Figs. 16-19.
+type Step string
+
+// Request-path steps (numbers follow Fig. 15).
+const (
+	StepGSProcess  Step = "GS P Rq (1)"
+	StepPreProcess Step = "K PP Rq (5)"
+	StepElection   Step = "K PRP (6)"
+	StepIntermed   Step = "K PRP Exec (7)"
+	StepExec       Step = "K Exec (8)"
+	StepPostProc   Step = "K P Rsp (9)"
+	StepReturn     Step = "LS<-K (10)"
+	StepE2E        Step = "E2E"
+)
+
+// Steps lists the recorded steps in display order.
+func Steps() []Step {
+	return []Step{StepE2E, StepGSProcess, StepPreProcess, StepElection, StepIntermed, StepExec, StepPostProc, StepReturn}
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Trace is the workload to replay.
+	Trace *trace.Trace
+	// Policy is the baseline to simulate.
+	Policy Policy
+	// Hosts is the initial server count (paper: 30 8-GPU VMs).
+	Hosts int
+	// HostCapacity defaults to p3.16xlarge.
+	HostCapacity resources.Spec
+	// ReplicasPerKernel is R (default 3).
+	ReplicasPerKernel int
+	// PrewarmPerHost sizes the warm pool (NotebookOS: small, for
+	// migrations; LCP: large).
+	PrewarmPerHost int
+	// ScaleFactor is the autoscaler's f (default 1.05).
+	ScaleFactor float64
+	// ScalingBufferHosts keeps spare servers for bursts.
+	ScalingBufferHosts int
+	// AutoscaleInterval is the autoscaler period (default 60s).
+	AutoscaleInterval time.Duration
+	// MinHosts floors scale-in (default 4).
+	MinHosts int
+	// SRHighWatermark caps per-host subscription (default 3.0).
+	SRHighWatermark float64
+	// Latencies are the protocol latency models.
+	Latencies Latencies
+	// Seed drives all randomness.
+	Seed int64
+	// SampleEvery is the metrics sampling period (default 5 min).
+	SampleEvery time.Duration
+}
+
+func (c *Config) withDefaults() error {
+	if c.Trace == nil {
+		return fmt.Errorf("sim: config requires Trace")
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyNotebookOS
+	}
+	if c.Hosts <= 0 {
+		c.Hosts = 30
+	}
+	if c.HostCapacity.IsZero() {
+		c.HostCapacity = resources.P316xlarge()
+	}
+	if c.ReplicasPerKernel <= 0 {
+		c.ReplicasPerKernel = 3
+	}
+	if c.ScaleFactor <= 0 {
+		c.ScaleFactor = 1.05
+	}
+	if c.AutoscaleInterval <= 0 {
+		c.AutoscaleInterval = time.Minute
+	}
+	if c.MinHosts <= 0 {
+		c.MinHosts = 4
+	}
+	if c.SRHighWatermark <= 0 {
+		c.SRHighWatermark = scheduler.DefaultSRHighWatermark
+	}
+	if c.Latencies.GSProcess == nil {
+		c.Latencies = DefaultLatencies()
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 5 * time.Minute
+	}
+	if c.PrewarmPerHost == 0 {
+		switch c.Policy {
+		case PolicyLCP:
+			c.PrewarmPerHost = 6
+		case PolicyNotebookOS:
+			c.PrewarmPerHost = 1
+		}
+	}
+	return nil
+}
+
+// Event mirrors scheduler events for the Fig. 10 timeline.
+type Event struct {
+	Time time.Time
+	Kind scheduler.EventKind
+}
+
+// Result carries everything the experiment harness needs to regenerate
+// the paper's tables and figures.
+type Result struct {
+	Policy Policy
+
+	// Timelines (Figs. 7, 8, 10, 14, 20).
+	ProvisionedGPUs *metrics.Timeline
+	CommittedGPUs   *metrics.Timeline
+	ActiveSessions  *metrics.Timeline
+	ActiveTrainings *metrics.Timeline
+	SR              *metrics.Timeline
+
+	// Distributions (Figs. 9, 11, 16-19).
+	Interactivity *metrics.Sample          // seconds
+	TCT           *metrics.Sample          // seconds
+	StepLatency   map[Step]*metrics.Sample // seconds
+	SyncLatency   *metrics.Sample          // seconds
+	ReadLatency   *metrics.Sample          // seconds
+	WriteLatency  *metrics.Sample          // seconds
+
+	// Events and counters (Fig. 10, §5.3.2).
+	Events           []Event
+	Tasks            int
+	ImmediateCommits int
+	ExecutorReuse    int
+	Migrations       int
+	FailedMigrations int
+	ScaleOuts        int
+	ScaleIns         int
+	ColdStarts       int
+	WarmStarts       int
+
+	// Revenue inputs (Fig. 12): integrated GPU/replica hours.
+	ActiveGPUHours      float64
+	StandbyReplicaHours float64
+	ReservedGPUHours    float64
+	ServerHours         float64
+}
+
+// simSession is the per-session simulation state.
+type simSession struct {
+	src   *trace.Session
+	req   resources.Spec
+	assig workload.Assignment
+
+	// NotebookOS: replica hosts; Reservation: the single reserved host.
+	hosts        []*cluster.Host
+	lastExecutor int
+	busyUntil    time.Time
+	queue        []trace.Task
+	running      bool
+	closed       bool
+}
+
+// sim is the mutable simulation state.
+type sim struct {
+	cfg     Config
+	eng     *des.Engine
+	rng     *rand.Rand
+	cluster *cluster.Cluster
+	policy  scheduler.PlacementPolicy
+	res     *Result
+
+	sessions map[string]*simSession
+	hostSeq  int
+	// pendingHosts counts servers being provisioned (scale-out latency).
+	pendingHosts int
+	// warm pools per host (count only; container identity is irrelevant
+	// at simulation granularity).
+	warmPool map[string]int
+}
+
+// Run executes the simulation and returns its result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	s := &sim{
+		cfg:      cfg,
+		eng:      des.New(cfg.Trace.Start),
+		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
+		cluster:  cluster.New(cfg.ReplicasPerKernel),
+		policy:   scheduler.LeastLoaded{SRHighWatermark: cfg.SRHighWatermark},
+		sessions: map[string]*simSession{},
+		warmPool: map[string]int{},
+		res: &Result{
+			Policy:          cfg.Policy,
+			ProvisionedGPUs: metrics.NewTimeline(),
+			CommittedGPUs:   metrics.NewTimeline(),
+			ActiveSessions:  metrics.NewTimeline(),
+			ActiveTrainings: metrics.NewTimeline(),
+			SR:              metrics.NewTimeline(),
+			Interactivity:   metrics.NewSample(),
+			TCT:             metrics.NewSample(),
+			StepLatency:     map[Step]*metrics.Sample{},
+			SyncLatency:     metrics.NewSample(),
+			ReadLatency:     metrics.NewSample(),
+			WriteLatency:    metrics.NewSample(),
+		},
+	}
+	for _, st := range Steps() {
+		s.res.StepLatency[st] = metrics.NewSample()
+	}
+	for i := 0; i < cfg.Hosts; i++ {
+		s.addHost()
+	}
+
+	wr := rand.New(rand.NewSource(cfg.Seed + 2))
+	for _, sess := range cfg.Trace.Sessions {
+		sess := sess
+		ss := &simSession{src: sess, req: sess.Request, assig: workload.Assign(wr)}
+		s.sessions[sess.ID] = ss
+		s.eng.At(sess.Start, func() { s.sessionStart(ss) })
+		s.eng.At(sess.End, func() { s.sessionEnd(ss) })
+		for _, task := range sess.Tasks {
+			task := task
+			s.eng.At(task.Submit, func() { s.taskArrive(ss, task) })
+		}
+	}
+
+	// Periodic sampling and autoscaling.
+	s.scheduleSampling()
+	if cfg.Policy == PolicyNotebookOS || cfg.Policy == PolicyLCP {
+		s.scheduleAutoscale()
+	}
+	s.eng.RunUntil(cfg.Trace.End.Add(24 * time.Hour))
+	s.finalizeIntegrals()
+	return s.res, nil
+}
+
+func (s *sim) now() time.Time { return s.eng.Now() }
+
+func (s *sim) addHost() *cluster.Host {
+	s.hostSeq++
+	h := cluster.NewHost(fmt.Sprintf("sim-h%04d", s.hostSeq), s.cfg.HostCapacity)
+	if err := s.cluster.AddHost(h); err != nil {
+		panic(err)
+	}
+	s.warmPool[h.ID] = s.cfg.PrewarmPerHost
+	return h
+}
+
+func (s *sim) recordEvent(kind scheduler.EventKind) {
+	s.res.Events = append(s.res.Events, Event{Time: s.now(), Kind: kind})
+}
+
+// ---- session lifecycle -------------------------------------------------
+
+func (s *sim) sessionStart(ss *simSession) {
+	s.res.ActiveSessions.Delta(s.now(), 1)
+	switch s.cfg.Policy {
+	case PolicyReservation:
+		// Bind GPUs for the whole session; grow the cluster when full
+		// (the provider provisions to fit all reservations).
+		h := s.hostWithIdle(ss.req)
+		if h == nil {
+			h = s.addHost()
+		}
+		if err := h.Commit("sess/"+ss.src.ID, ss.req); err != nil {
+			// A fresh host always fits a valid request.
+			panic(err)
+		}
+		ss.hosts = []*cluster.Host{h}
+	case PolicyNotebookOS:
+		hosts, err := s.policy.SelectHosts(s.cluster, ss.req, s.cfg.ReplicasPerKernel)
+		if err != nil {
+			// Scale out synchronously at creation (placement pauses until
+			// the servers are ready; the provisioning delay is charged to
+			// session creation, not to any task).
+			for i := 0; i < s.cfg.ReplicasPerKernel; i++ {
+				s.addHost()
+			}
+			s.res.ScaleOuts++
+			s.recordEvent(scheduler.EventScaleOut)
+			hosts, err = s.policy.SelectHosts(s.cluster, ss.req, s.cfg.ReplicasPerKernel)
+			if err != nil {
+				return // pathological request; drop the session
+			}
+		}
+		for i, h := range hosts {
+			_ = h.PlaceReplica(fmt.Sprintf("%s/r%d", ss.src.ID, i+1), ss.req)
+		}
+		ss.hosts = hosts
+		s.recordEvent(scheduler.EventKernelCreated)
+		s.sampleSR()
+	case PolicyBatch, PolicyLCP:
+		// No per-session provisioning: containers come per task.
+	}
+}
+
+func (s *sim) sessionEnd(ss *simSession) {
+	if ss.closed {
+		return
+	}
+	ss.closed = true
+	s.res.ActiveSessions.Delta(s.now(), -1)
+	switch s.cfg.Policy {
+	case PolicyReservation:
+		if len(ss.hosts) > 0 {
+			_ = ss.hosts[0].Release("sess/" + ss.src.ID)
+		}
+	case PolicyNotebookOS:
+		for i, h := range ss.hosts {
+			_ = h.RemoveReplica(fmt.Sprintf("%s/r%d", ss.src.ID, i+1))
+		}
+		s.sampleSR()
+	}
+}
+
+// ---- task pipeline -----------------------------------------------------
+
+func (s *sim) taskArrive(ss *simSession, task trace.Task) {
+	if ss.running {
+		// IDLT users do not submit concurrent tasks, but platform-induced
+		// delays can push a completion past the next trace submission;
+		// those tasks queue FCFS within the session.
+		ss.queue = append(ss.queue, task)
+		return
+	}
+	ss.running = true
+	s.startTask(ss, task, s.now())
+}
+
+func (s *sim) finishTask(ss *simSession, submit time.Time, interactivity, exec, post time.Duration) {
+	tct := s.now().Sub(submit)
+	s.res.Interactivity.Add(interactivity.Seconds())
+	s.res.TCT.Add(tct.Seconds())
+	s.res.StepLatency[StepE2E].Add(tct.Seconds())
+	s.res.Tasks++
+	ss.running = false
+	if len(ss.queue) > 0 {
+		next := ss.queue[0]
+		ss.queue = ss.queue[1:]
+		ss.running = true
+		s.startTask(ss, next, s.now())
+	}
+}
+
+func (s *sim) startTask(ss *simSession, task trace.Task, submit time.Time) {
+	switch s.cfg.Policy {
+	case PolicyReservation:
+		s.runReservationTask(ss, task, submit)
+	case PolicyBatch:
+		s.runBatchTask(ss, task, submit)
+	case PolicyNotebookOS:
+		s.runNbosTask(ss, task, submit, 0)
+	case PolicyLCP:
+		s.runLCPTask(ss, task, submit)
+	}
+}
+
+func (s *sim) taskReq(ss *simSession, task trace.Task) resources.Spec {
+	r := ss.req
+	r.GPUs = task.GPUs
+	if r.GPUs > ss.req.GPUs {
+		r.GPUs = ss.req.GPUs
+	}
+	r.VRAMGB = float64(r.GPUs) * 16
+	return r
+}
+
+func (s *sim) sampleStep(st Step, d time.Duration) time.Duration {
+	s.res.StepLatency[st].Add(d.Seconds())
+	return d
+}
+
+// runReservationTask: GPUs are already bound; the task starts after
+// framework overhead only.
+func (s *sim) runReservationTask(ss *simSession, task trace.Task, submit time.Time) {
+	lat := s.cfg.Latencies
+	step1 := s.sampleStep(StepGSProcess, lat.GSProcess(s.rng))
+	step5 := s.sampleStep(StepPreProcess, lat.PreProcess(s.rng))
+	s.sampleStep(StepElection, 0)
+	step7 := s.sampleStep(StepIntermed, lat.Transfer.LoadTime(ss.assig.Model.ParamBytes, task.GPUs))
+	hops := lat.Hop(s.rng) + lat.Hop(s.rng)
+	delay := step1 + step5 + step7 + hops
+
+	s.eng.At(submit.Add(delay), func() {
+		s.markTraining(ss, task, s.now(), true)
+	})
+	s.eng.At(submit.Add(delay+task.Duration), func() {
+		// Reservation persists updated state synchronously (Fig. 16 step 9).
+		post := lat.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng)
+		s.res.WriteLatency.Add(post.Seconds())
+		s.sampleStep(StepPostProc, post)
+		s.sampleStep(StepExec, task.Duration)
+		ret := s.sampleStep(StepReturn, lat.Hop(s.rng))
+		s.eng.After(post+ret, func() {
+			s.markTraining(ss, task, s.now(), false)
+			s.finishTask(ss, submit, delay, task.Duration, post)
+		})
+	})
+}
+
+// runBatchTask: FCFS on-demand provisioning: wait for free GPUs, cold
+// start a container, download model+dataset, execute, persist, terminate.
+func (s *sim) runBatchTask(ss *simSession, task trace.Task, submit time.Time) {
+	lat := s.cfg.Latencies
+	// A batch job requests the session's full configured resources, the
+	// way a slurm submission would, not just the GPUs this task touches.
+	req := ss.req
+	holder := fmt.Sprintf("batch/%s/%d", ss.src.ID, submit.UnixNano())
+
+	var attempt func()
+	attempt = func() {
+		h := s.hostWithIdle(req)
+		if h == nil {
+			// Queue: retry when capacity frees up (FCFS approximation).
+			s.eng.After(15*time.Second, attempt)
+			return
+		}
+		if err := h.Commit(holder, req); err != nil {
+			s.eng.After(15*time.Second, attempt)
+			return
+		}
+		queueing := s.now().Sub(submit)
+		cold := lat.ColdStart(s.rng)
+		s.res.ColdStarts++
+		fetch := lat.Store.GetLatency(ss.assig.Model.ParamBytes+ss.assig.Dataset.SizeBytes/16, s.rng)
+		s.res.ReadLatency.Add(fetch.Seconds())
+		step1 := s.sampleStep(StepGSProcess, queueing+cold+lat.GSProcess(s.rng))
+		step5 := s.sampleStep(StepPreProcess, lat.PreProcess(s.rng)+fetch)
+		s.sampleStep(StepElection, 0)
+		step7 := s.sampleStep(StepIntermed, lat.Transfer.LoadTime(ss.assig.Model.ParamBytes, task.GPUs))
+		delay := step1 + step5 + step7
+
+		s.eng.After(delay, func() {
+			s.markTraining(ss, task, s.now(), true)
+			s.eng.After(task.Duration, func() {
+				s.sampleStep(StepExec, task.Duration)
+				post := lat.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng)
+				s.res.WriteLatency.Add(post.Seconds())
+				s.sampleStep(StepPostProc, post)
+				ret := s.sampleStep(StepReturn, lat.Hop(s.rng))
+				s.eng.After(post+ret, func() {
+					s.markTraining(ss, task, s.now(), false)
+					_ = h.Release(holder)
+					s.finishTask(ss, submit, submit.Add(delay).Sub(submit), task.Duration, post)
+				})
+			})
+		})
+	}
+	attempt()
+}
+
+// runNbosTask: the full NotebookOS path: immediate commit on a replica
+// host when possible, otherwise migration (warm container when available)
+// and resubmission.
+func (s *sim) runNbosTask(ss *simSession, task trace.Task, submit time.Time, migrationDelay time.Duration) {
+	lat := s.cfg.Latencies
+	req := s.taskReq(ss, task)
+	holder := fmt.Sprintf("nbos/%s/%d", ss.src.ID, submit.UnixNano())
+
+	// Prefer the previous executor's host (the paper reuses the same
+	// executor for 89.45% of consecutive executions).
+	executor := 0
+	if ss.lastExecutor > 0 && ss.lastExecutor <= len(ss.hosts) &&
+		ss.hosts[ss.lastExecutor-1].CanCommit(req) {
+		executor = ss.lastExecutor
+	}
+	if executor == 0 {
+		for i, h := range ss.hosts {
+			if h.CanCommit(req) {
+				executor = i + 1
+				break
+			}
+		}
+	}
+	if executor == 0 {
+		s.migrateAndRetry(ss, task, submit, holder)
+		return
+	}
+	h := ss.hosts[executor-1]
+	if err := h.Commit(holder, req); err != nil {
+		s.migrateAndRetry(ss, task, submit, holder)
+		return
+	}
+	if migrationDelay == 0 {
+		s.res.ImmediateCommits++
+		if executor == ss.lastExecutor {
+			s.res.ExecutorReuse++
+		}
+	}
+	ss.lastExecutor = executor
+
+	step1 := s.sampleStep(StepGSProcess, lat.GSProcess(s.rng))
+	step5 := s.sampleStep(StepPreProcess, lat.PreProcess(s.rng))
+	step6 := s.sampleStep(StepElection, lat.Election(s.rng))
+	step7 := s.sampleStep(StepIntermed, lat.Transfer.LoadTime(ss.assig.Model.ParamBytes, task.GPUs))
+	hops := lat.Hop(s.rng) + lat.Hop(s.rng)
+	delay := migrationDelay + step1 + step5 + step6 + step7 + hops
+
+	s.eng.At(submit.Add(delay), func() {
+		s.markTraining(ss, task, s.now(), true)
+		s.eng.After(task.Duration, func() {
+			s.sampleStep(StepExec, task.Duration)
+			// State replication is off the critical path (§3.2.4): the
+			// reply returns after the GPU offload only.
+			off := lat.Transfer.OffloadTime(ss.assig.Model.ParamBytes)
+			s.sampleStep(StepPostProc, off)
+			ret := s.sampleStep(StepReturn, lat.Hop(s.rng))
+			// Record the async replication costs for Fig. 11.
+			s.res.SyncLatency.Add(lat.Sync(s.rng).Seconds())
+			s.res.WriteLatency.Add(lat.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng).Seconds())
+			s.eng.After(off+ret, func() {
+				s.markTraining(ss, task, s.now(), false)
+				_ = h.Release(holder)
+				s.finishTask(ss, submit, delay, task.Duration, off)
+			})
+		})
+	})
+}
+
+// migrateAndRetry handles the all-YIELD path (§3.2.3): find a target with
+// idle resources (scaling out if necessary), pay warm/cold container plus
+// checkpoint-restore costs, swap the replica, and resubmit.
+func (s *sim) migrateAndRetry(ss *simSession, task trace.Task, submit time.Time, holder string) {
+	lat := s.cfg.Latencies
+	req := s.taskReq(ss, task)
+
+	// The failed election itself costs one election round.
+	electionCost := lat.Election(s.rng)
+
+	hosting := map[string]bool{}
+	for _, h := range ss.hosts {
+		hosting[h.ID] = true
+	}
+	var target *cluster.Host
+	bestIdle := -1
+	for _, h := range s.cluster.Hosts() {
+		if hosting[h.ID] || !h.CanCommit(req) {
+			continue
+		}
+		if idle := h.IdleGPUs(); idle > bestIdle {
+			bestIdle = idle
+			target = h
+		}
+	}
+	var extra time.Duration
+	if target == nil {
+		// Scale out and retry once the server is up.
+		if s.pendingHosts == 0 {
+			s.pendingHosts++
+			s.res.ScaleOuts++
+			s.recordEvent(scheduler.EventScaleOut)
+			provision := lat.HostProvision(s.rng)
+			s.eng.After(provision, func() {
+				s.addHost()
+				s.pendingHosts--
+			})
+		}
+		retry := 30 * time.Second
+		s.eng.After(retry, func() {
+			s.runNbosTask(ss, task, submit, s.now().Sub(submit))
+		})
+		return
+	}
+
+	// Container: pre-warmed if the target has pool capacity, else cold.
+	if s.warmPool[target.ID] > 0 {
+		s.warmPool[target.ID]--
+		s.res.WarmStarts++
+		extra += lat.WarmAttach(s.rng)
+		// Pool replenishes in the background.
+		tid := target.ID
+		s.eng.After(lat.ColdStart(s.rng), func() { s.warmPool[tid]++ })
+	} else {
+		s.res.ColdStarts++
+		extra += lat.ColdStart(s.rng)
+	}
+	// Persist + restore checkpointed state through the data store.
+	wr := lat.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng)
+	rd := lat.Store.GetLatency(ss.assig.Model.ParamBytes, s.rng)
+	s.res.WriteLatency.Add(wr.Seconds())
+	s.res.ReadLatency.Add(rd.Seconds())
+	extra += wr + rd + electionCost
+
+	// Move the replica: the victim is the replica on the fullest host.
+	victim := 0
+	worst := math.MaxInt
+	for i, h := range ss.hosts {
+		if idle := h.IdleGPUs(); idle < worst {
+			worst = idle
+			victim = i
+		}
+	}
+	oldHost := ss.hosts[victim]
+	key := fmt.Sprintf("%s/r%d", ss.src.ID, victim+1)
+	_ = oldHost.RemoveReplica(key)
+	_ = target.PlaceReplica(key, ss.req)
+	ss.hosts[victim] = target
+	ss.lastExecutor = victim + 1
+	s.res.Migrations++
+	s.recordEvent(scheduler.EventMigration)
+	s.sampleSR()
+
+	s.eng.After(extra, func() {
+		s.runNbosTask(ss, task, submit, s.now().Sub(submit))
+	})
+}
+
+// runLCPTask: take a warm container from the pool (or cold start), warm
+// it up by downloading model + dataset (on the critical path, which is
+// what stretches LCP's TCT in Fig. 9b), execute, return the container.
+func (s *sim) runLCPTask(ss *simSession, task trace.Task, submit time.Time) {
+	lat := s.cfg.Latencies
+	req := s.taskReq(ss, task)
+	holder := fmt.Sprintf("lcp/%s/%d", ss.src.ID, submit.UnixNano())
+
+	var attempt func()
+	attempt = func() {
+		var target *cluster.Host
+		warm := false
+		// Prefer hosts with both idle GPUs and a warm container.
+		for _, h := range s.cluster.Hosts() {
+			if !h.CanCommit(req) {
+				continue
+			}
+			if s.warmPool[h.ID] > 0 {
+				target = h
+				warm = true
+				break
+			}
+			if target == nil {
+				target = h
+			}
+		}
+		if target == nil {
+			s.eng.After(15*time.Second, attempt)
+			return
+		}
+		if err := target.Commit(holder, req); err != nil {
+			s.eng.After(15*time.Second, attempt)
+			return
+		}
+		var start time.Duration
+		if warm {
+			s.warmPool[target.ID]--
+			s.res.WarmStarts++
+			start = lat.WarmAttach(s.rng)
+		} else {
+			s.res.ColdStarts++
+			start = lat.ColdStart(s.rng)
+		}
+		queueing := s.now().Sub(submit)
+		// Warm-up: fetch model parameters and dataset into the container.
+		fetch := lat.Store.GetLatency(ss.assig.Model.ParamBytes+ss.assig.Dataset.SizeBytes/16, s.rng)
+		s.res.ReadLatency.Add(fetch.Seconds())
+		step1 := s.sampleStep(StepGSProcess, queueing+start+lat.GSProcess(s.rng))
+		step5 := s.sampleStep(StepPreProcess, lat.PreProcess(s.rng)+fetch)
+		s.sampleStep(StepElection, 0)
+		step7 := s.sampleStep(StepIntermed, lat.Transfer.LoadTime(ss.assig.Model.ParamBytes, task.GPUs))
+		delay := step1 + step5 + step7
+
+		s.eng.After(delay, func() {
+			s.markTraining(ss, task, s.now(), true)
+			s.eng.After(task.Duration, func() {
+				s.sampleStep(StepExec, task.Duration)
+				post := lat.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng)
+				s.res.WriteLatency.Add(post.Seconds())
+				s.sampleStep(StepPostProc, post)
+				ret := s.sampleStep(StepReturn, lat.Hop(s.rng))
+				s.eng.After(post+ret, func() {
+					s.markTraining(ss, task, s.now(), false)
+					_ = target.Release(holder)
+					// Return the container to the pool (LCP keeps it warm).
+					s.warmPool[target.ID]++
+					s.finishTask(ss, submit, submit.Add(delay).Sub(submit), task.Duration, post)
+				})
+			})
+		})
+	}
+	attempt()
+}
+
+func (s *sim) markTraining(ss *simSession, task trace.Task, at time.Time, start bool) {
+	g := float64(task.GPUs)
+	if start {
+		s.res.ActiveTrainings.Delta(at, 1)
+		s.res.CommittedGPUs.Delta(at, g)
+	} else {
+		s.res.ActiveTrainings.Delta(at, -1)
+		s.res.CommittedGPUs.Delta(at, -g)
+	}
+}
+
+// hostWithIdle returns a host that can commit req right now (most idle
+// first), or nil.
+func (s *sim) hostWithIdle(req resources.Spec) *cluster.Host {
+	var best *cluster.Host
+	bestIdle := -1
+	for _, h := range s.cluster.Hosts() {
+		if !h.CanCommit(req) {
+			continue
+		}
+		if idle := h.IdleGPUs(); idle > bestIdle {
+			bestIdle = idle
+			best = h
+		}
+	}
+	return best
+}
+
+func (s *sim) sampleSR() {
+	s.res.SR.Set(s.now(), s.cluster.ClusterSR())
+}
+
+// ---- periodic sampling & autoscaling ------------------------------------
+
+func (s *sim) scheduleSampling() {
+	var tick func()
+	tick = func() {
+		s.sampleProvisioned()
+		if s.now().Before(s.cfg.Trace.End) {
+			s.eng.After(s.cfg.SampleEvery, tick)
+		}
+	}
+	s.eng.After(0, tick)
+}
+
+// sampleProvisioned records the provisioned-GPU series whose meaning is
+// policy-dependent (Fig. 8): Reservation provisions what sessions reserve;
+// Batch provisions what runs; NotebookOS/(LCP) provision whole servers.
+func (s *sim) sampleProvisioned() {
+	switch s.cfg.Policy {
+	case PolicyReservation:
+		s.res.ProvisionedGPUs.Set(s.now(), float64(s.cluster.CommittedGPUs()))
+	case PolicyBatch:
+		s.res.ProvisionedGPUs.Set(s.now(), float64(s.cluster.CommittedGPUs()))
+	default:
+		s.res.ProvisionedGPUs.Set(s.now(), float64(s.cluster.TotalGPUs()))
+		s.sampleSR()
+	}
+}
+
+func (s *sim) scheduleAutoscale() {
+	var tick func()
+	tick = func() {
+		s.autoscaleOnce()
+		if s.now().Before(s.cfg.Trace.End) {
+			s.eng.After(s.cfg.AutoscaleInterval, tick)
+		}
+	}
+	s.eng.After(s.cfg.AutoscaleInterval, tick)
+}
+
+func (s *sim) autoscaleOnce() {
+	committed := s.cluster.CommittedGPUs()
+	gpusPerHost := s.cfg.HostCapacity.GPUs
+	expected := s.cfg.ScaleFactor*float64(committed) + float64(s.cfg.ScalingBufferHosts*gpusPerHost)
+	if s.cfg.Policy == PolicyLCP {
+		// The LCP baseline keeps a large warm-container pool sized to the
+		// session population, trading resource cost for interactivity
+		// (§5.1.1); reserve roughly one GPU of capacity per live session.
+		expected += 0.75 * s.res.ActiveSessions.Last()
+	}
+	total := s.cluster.TotalGPUs() + s.pendingHosts*gpusPerHost
+
+	if float64(total) < expected {
+		need := int(math.Ceil((expected - float64(total)) / float64(gpusPerHost)))
+		s.pendingHosts += need
+		s.res.ScaleOuts++
+		s.recordEvent(scheduler.EventScaleOut)
+		provision := s.cfg.Latencies.HostProvision(s.rng)
+		s.eng.After(provision, func() {
+			for i := 0; i < need; i++ {
+				s.addHost()
+			}
+			s.pendingHosts -= need
+			s.sampleProvisioned()
+		})
+		return
+	}
+	// Scale in: release up to 2 idle servers (no replicas, nothing
+	// committed) while above the floor.
+	if float64(total)-float64(gpusPerHost) > expected && s.cluster.NumHosts() > s.cfg.MinHosts {
+		released := 0
+		for _, h := range s.cluster.Hosts() {
+			if released >= 2 || s.cluster.NumHosts() <= s.cfg.MinHosts {
+				break
+			}
+			if h.NumReplicas() == 0 && h.Committed().IsZero() {
+				if err := s.cluster.RemoveHost(h.ID); err == nil {
+					delete(s.warmPool, h.ID)
+					released++
+				}
+			}
+			if float64(s.cluster.TotalGPUs())-float64(gpusPerHost) <= expected {
+				break
+			}
+		}
+		if released > 0 {
+			s.res.ScaleIns++
+			s.recordEvent(scheduler.EventScaleIn)
+			s.sampleProvisioned()
+		}
+	}
+}
+
+// finalizeIntegrals computes the integrated hour metrics for the cost
+// model (Fig. 12).
+func (s *sim) finalizeIntegrals() {
+	start, end := s.cfg.Trace.Start, s.cfg.Trace.End
+	s.res.ActiveGPUHours = s.res.CommittedGPUs.Integral(start, end)
+	s.res.ServerHours = s.res.ProvisionedGPUs.Integral(start, end) / float64(s.cfg.HostCapacity.GPUs)
+	s.res.ReservedGPUHours = s.cfg.Trace.ReservedGPUs().Integral(start, end)
+	if s.cfg.Policy == PolicyNotebookOS {
+		// Each session keeps R standby replicas alive; the executor is
+		// billed as active while training. Replica-hours approximate
+		// R x session-hours.
+		sessHours := s.res.ActiveSessions.Integral(start, end)
+		s.res.StandbyReplicaHours = sessHours * float64(s.cfg.ReplicasPerKernel)
+	}
+}

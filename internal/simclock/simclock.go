@@ -1,0 +1,129 @@
+// Package simclock abstracts time so the live platform runs on the wall
+// clock while tests and the simulator run on a virtual clock that can be
+// advanced deterministically. Evaluation workloads span 17.5 hours to 90
+// days (paper §5), so virtual time is essential for fast reproduction.
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used across NotebookOS.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the then-current time once d
+	// has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks until d has elapsed.
+	Sleep(d time.Duration)
+}
+
+// Real is a Clock backed by the wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Virtual is a manually advanced Clock. Time only moves when Advance (or
+// AdvanceTo) is called; pending timers whose deadlines are reached fire in
+// deadline order. Virtual is safe for concurrent use.
+type Virtual struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers timerHeap
+	seq    int64
+}
+
+// NewVirtual returns a virtual clock starting at start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// After implements Clock. The returned channel has capacity 1 and is
+// delivered to (never closed) when virtual time passes the deadline.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if d <= 0 {
+		ch <- v.now
+		return ch
+	}
+	v.seq++
+	heap.Push(&v.timers, &timer{at: v.now.Add(d), seq: v.seq, ch: ch})
+	return ch
+}
+
+// Sleep implements Clock. It blocks the calling goroutine until another
+// goroutine advances the clock past the deadline.
+func (v *Virtual) Sleep(d time.Duration) { <-v.After(d) }
+
+// Advance moves virtual time forward by d, firing due timers in order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.AdvanceTo(v.Now().Add(d))
+}
+
+// AdvanceTo moves virtual time to t (no-op if t is in the past), firing due
+// timers in deadline order.
+func (v *Virtual) AdvanceTo(t time.Time) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t.Before(v.now) {
+		return
+	}
+	for len(v.timers) > 0 && !v.timers[0].at.After(t) {
+		tm := heap.Pop(&v.timers).(*timer)
+		v.now = tm.at
+		tm.ch <- tm.at
+	}
+	v.now = t
+}
+
+// PendingTimers returns the number of timers not yet fired.
+func (v *Virtual) PendingTimers() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.timers)
+}
+
+type timer struct {
+	at  time.Time
+	seq int64
+	ch  chan time.Time
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

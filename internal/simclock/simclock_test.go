@@ -1,0 +1,126 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestVirtualNowAdvance(t *testing.T) {
+	v := NewVirtual(epoch)
+	if !v.Now().Equal(epoch) {
+		t.Fatalf("Now = %v, want %v", v.Now(), epoch)
+	}
+	v.Advance(90 * time.Second)
+	if got := v.Now().Sub(epoch); got != 90*time.Second {
+		t.Fatalf("advanced %v, want 90s", got)
+	}
+}
+
+func TestVirtualAfterFiresInOrder(t *testing.T) {
+	v := NewVirtual(epoch)
+	c1 := v.After(10 * time.Second)
+	c2 := v.After(5 * time.Second)
+	v.Advance(7 * time.Second)
+	select {
+	case at := <-c2:
+		if got := at.Sub(epoch); got != 5*time.Second {
+			t.Fatalf("c2 fired at +%v, want +5s", got)
+		}
+	default:
+		t.Fatal("c2 should have fired")
+	}
+	select {
+	case <-c1:
+		t.Fatal("c1 must not fire yet")
+	default:
+	}
+	v.Advance(5 * time.Second)
+	select {
+	case <-c1:
+	default:
+		t.Fatal("c1 should have fired after 12s total")
+	}
+	if v.PendingTimers() != 0 {
+		t.Fatalf("PendingTimers = %d, want 0", v.PendingTimers())
+	}
+}
+
+func TestVirtualAfterNonPositive(t *testing.T) {
+	v := NewVirtual(epoch)
+	select {
+	case <-v.After(0):
+	default:
+		t.Fatal("After(0) should fire immediately")
+	}
+	select {
+	case <-v.After(-time.Second):
+	default:
+		t.Fatal("After(-1s) should fire immediately")
+	}
+}
+
+func TestVirtualAdvanceToPastIsNoop(t *testing.T) {
+	v := NewVirtual(epoch)
+	v.Advance(time.Hour)
+	v.AdvanceTo(epoch) // in the past: ignored
+	if got := v.Now().Sub(epoch); got != time.Hour {
+		t.Fatalf("Now moved backwards: +%v", got)
+	}
+}
+
+func TestVirtualSleepUnblocks(t *testing.T) {
+	v := NewVirtual(epoch)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v.Sleep(time.Minute)
+		close(done)
+	}()
+	// Let the sleeper register its timer before advancing.
+	for v.PendingTimers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(2 * time.Minute)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep never unblocked")
+	}
+	wg.Wait()
+}
+
+func TestVirtualTiesFireFIFO(t *testing.T) {
+	v := NewVirtual(epoch)
+	c1 := v.After(time.Second)
+	c2 := v.After(time.Second)
+	v.Advance(time.Second)
+	at1 := <-c1
+	at2 := <-c2
+	if !at1.Equal(at2) {
+		t.Fatalf("tie deadlines differ: %v vs %v", at1, at2)
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	var c Clock = Real{}
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatal("Real.Now is unreasonable")
+	}
+	start := time.Now()
+	c.Sleep(time.Millisecond)
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("Real.Sleep returned too early")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("Real.After never fired")
+	}
+}

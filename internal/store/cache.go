@@ -1,0 +1,120 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the node-level cache of §3.2.4: a byte-bounded LRU in front of
+// a (typically remote, latency-bearing) Store. Reads served from the cache
+// avoid the backend entirely; writes go through to the backend and
+// populate the cache.
+type Cache struct {
+	mu       sync.Mutex
+	inner    Store
+	capacity int64
+	used     int64
+	ll       *list.List
+	items    map[string]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// NewCache wraps inner with an LRU holding at most capacity bytes.
+func NewCache(inner Store, capacity int64) *Cache {
+	return &Cache{
+		inner:    inner,
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Put implements Store (write-through).
+func (c *Cache) Put(key string, data []byte) error {
+	if err := c.inner.Put(key, data); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.insert(key, data)
+	c.mu.Unlock()
+	return nil
+}
+
+// Get implements Store, serving from the cache when possible.
+func (c *Cache) Get(key string) ([]byte, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		data := el.Value.(*cacheEntry).data
+		c.hits++
+		c.mu.Unlock()
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		return cp, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	data, err := c.inner.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.insert(key, data)
+	c.mu.Unlock()
+	return data, nil
+}
+
+// Delete implements Store, invalidating the cache entry.
+func (c *Cache) Delete(key string) error {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.remove(el)
+	}
+	c.mu.Unlock()
+	return c.inner.Delete(key)
+}
+
+// insert adds or refreshes a cache entry, evicting LRU entries to fit.
+// Objects larger than the capacity are not cached. Caller holds c.mu.
+func (c *Cache) insert(key string, data []byte) {
+	if int64(len(data)) > c.capacity {
+		if el, ok := c.items[key]; ok {
+			c.remove(el)
+		}
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		c.remove(el)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	el := c.ll.PushFront(&cacheEntry{key: key, data: cp})
+	c.items[key] = el
+	c.used += int64(len(cp))
+	for c.used > c.capacity {
+		c.remove(c.ll.Back())
+	}
+}
+
+// remove drops an entry. Caller holds c.mu.
+func (c *Cache) remove(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	c.used -= int64(len(ent.data))
+}
+
+// Stats returns cache hits, misses, and bytes resident.
+func (c *Cache) Stats() (hits, misses, usedBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.used
+}

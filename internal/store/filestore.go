@@ -1,0 +1,114 @@
+package store
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File is a Store persisted to a directory, one file per key — the
+// local-disk analogue of the paper's HDFS backend, useful for durable
+// single-node deployments and for checkpoints that must survive process
+// restarts. Keys are hex-encoded into file names so arbitrary key strings
+// (including '/') are safe.
+type File struct {
+	dir string
+	mu  sync.RWMutex
+}
+
+// NewFile creates (if needed) and opens a file-backed store rooted at dir.
+func NewFile(dir string) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	return &File{dir: dir}, nil
+}
+
+func (f *File) path(key string) string {
+	return filepath.Join(f.dir, hex.EncodeToString([]byte(key))+".obj")
+}
+
+// Put implements Store with an atomic rename so readers never observe a
+// partially written object.
+func (f *File) Put(key string, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	tmp, err := os.CreateTemp(f.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: close: %w", err)
+	}
+	if err := os.Rename(tmpName, f.path(key)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (f *File) Get(key string) ([]byte, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	data, err := os.ReadFile(f.path(key))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read: %w", err)
+	}
+	return data, nil
+}
+
+// Delete implements Store.
+func (f *File) Delete(key string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	err := os.Remove(f.path(key))
+	if os.IsNotExist(err) {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if err != nil {
+		return fmt.Errorf("store: delete: %w", err)
+	}
+	return nil
+}
+
+// List implements Lister.
+func (f *File) List(prefix string) ([]string, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".obj") {
+			continue
+		}
+		raw, err := hex.DecodeString(strings.TrimSuffix(name, ".obj"))
+		if err != nil {
+			continue
+		}
+		key := string(raw)
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

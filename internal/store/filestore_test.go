@@ -1,0 +1,104 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	fs, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "kernel-1/state/7/model" // keys may contain '/'
+	payload := bytes.Repeat([]byte("p"), 4096)
+	if err := fs.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Get(key)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("Get: %v (len %d)", err, len(got))
+	}
+	// Overwrite.
+	if err := fs.Put(key, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.Get(key)
+	if string(got) != "v2" {
+		t.Fatalf("overwrite = %q", got)
+	}
+	if err := fs.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete = %v", err)
+	}
+	if err := fs.Delete(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete = %v", err)
+	}
+}
+
+func TestFileStoreList(t *testing.T) {
+	fs, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a/1", "a/2", "b/1"} {
+		if err := fs.Put(k, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := fs.List("a/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keys, []string{"a/1", "a/2"}) {
+		t.Fatalf("List = %v", keys)
+	}
+}
+
+func TestFileStorePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put("durable", []byte("still here")); err != nil {
+		t.Fatal(err)
+	}
+	// Re-open the same directory: data must survive.
+	fs2, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.Get("durable")
+	if err != nil || string(got) != "still here" {
+		t.Fatalf("reopened Get = %q, %v", got, err)
+	}
+}
+
+func TestFileStoreBehindKVServer(t *testing.T) {
+	fs, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer("127.0.0.1:0", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("network file store Get = %q, %v", got, err)
+	}
+}

@@ -1,0 +1,311 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+)
+
+// This file implements a minimal TCP key-value protocol so a NotebookOS
+// deployment can run one shared store process per cluster (the way the
+// paper's prototype points kernels at a Redis/S3 endpoint). Frames are
+// length-prefixed:
+//
+//	request:  op(1) keyLen(u32) key [valLen(u64) val]   (val only for put)
+//	response: status(1) payloadLen(u64) payload
+//
+// Status codes: 0 OK, 1 not found, 2 error (payload carries the message).
+
+const (
+	opPut    = 'P'
+	opGet    = 'G'
+	opDelete = 'D'
+	opList   = 'L'
+
+	statusOK       = 0
+	statusNotFound = 1
+	statusError    = 2
+)
+
+// maxFrame bounds a single value (1 GiB) to keep a corrupt peer from
+// forcing a huge allocation.
+const maxFrame = 1 << 30
+
+// Server serves a Store over TCP.
+type Server struct {
+	backend Store
+	ln      net.Listener
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// NewServer starts a server on addr (e.g. "127.0.0.1:0") backed by backend.
+func NewServer(addr string, backend Store) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{backend: backend, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and closes all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		op, key, val, err := readRequest(conn)
+		if err != nil {
+			return
+		}
+		switch op {
+		case opPut:
+			if err := s.backend.Put(key, val); err != nil {
+				writeResponse(conn, statusError, []byte(err.Error()))
+				continue
+			}
+			writeResponse(conn, statusOK, nil)
+		case opGet:
+			data, err := s.backend.Get(key)
+			switch {
+			case errors.Is(err, ErrNotFound):
+				writeResponse(conn, statusNotFound, nil)
+			case err != nil:
+				writeResponse(conn, statusError, []byte(err.Error()))
+			default:
+				writeResponse(conn, statusOK, data)
+			}
+		case opDelete:
+			err := s.backend.Delete(key)
+			switch {
+			case errors.Is(err, ErrNotFound):
+				writeResponse(conn, statusNotFound, nil)
+			case err != nil:
+				writeResponse(conn, statusError, []byte(err.Error()))
+			default:
+				writeResponse(conn, statusOK, nil)
+			}
+		case opList:
+			lister, ok := s.backend.(Lister)
+			if !ok {
+				writeResponse(conn, statusError, []byte("store: backend cannot list"))
+				continue
+			}
+			keys, err := lister.List(key)
+			if err != nil {
+				writeResponse(conn, statusError, []byte(err.Error()))
+				continue
+			}
+			writeResponse(conn, statusOK, []byte(strings.Join(keys, "\n")))
+		default:
+			writeResponse(conn, statusError, []byte(fmt.Sprintf("store: unknown op %q", op)))
+		}
+	}
+}
+
+func readRequest(r io.Reader) (op byte, key string, val []byte, err error) {
+	var header [5]byte
+	if _, err = io.ReadFull(r, header[:]); err != nil {
+		return 0, "", nil, err
+	}
+	op = header[0]
+	keyLen := binary.BigEndian.Uint32(header[1:5])
+	if keyLen > maxFrame {
+		return 0, "", nil, fmt.Errorf("store: key too large (%d)", keyLen)
+	}
+	kb := make([]byte, keyLen)
+	if _, err = io.ReadFull(r, kb); err != nil {
+		return 0, "", nil, err
+	}
+	key = string(kb)
+	if op == opPut {
+		var lenBuf [8]byte
+		if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+			return 0, "", nil, err
+		}
+		valLen := binary.BigEndian.Uint64(lenBuf[:])
+		if valLen > maxFrame {
+			return 0, "", nil, fmt.Errorf("store: value too large (%d)", valLen)
+		}
+		val = make([]byte, valLen)
+		if _, err = io.ReadFull(r, val); err != nil {
+			return 0, "", nil, err
+		}
+	}
+	return op, key, val, nil
+}
+
+func writeResponse(w io.Writer, status byte, payload []byte) error {
+	var header [9]byte
+	header[0] = status
+	binary.BigEndian.PutUint64(header[1:], uint64(len(payload)))
+	if _, err := w.Write(header[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Client is a Store backed by a remote Server. Operations on a single
+// Client are serialized; use one Client per goroutine for parallelism.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a Server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(op byte, key string, val []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var header [5]byte
+	header[0] = op
+	binary.BigEndian.PutUint32(header[1:5], uint32(len(key)))
+	if _, err := c.conn.Write(header[:]); err != nil {
+		return 0, nil, err
+	}
+	if _, err := io.WriteString(c.conn, key); err != nil {
+		return 0, nil, err
+	}
+	if op == opPut {
+		var lenBuf [8]byte
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(val)))
+		if _, err := c.conn.Write(lenBuf[:]); err != nil {
+			return 0, nil, err
+		}
+		if _, err := c.conn.Write(val); err != nil {
+			return 0, nil, err
+		}
+	}
+	var respHeader [9]byte
+	if _, err := io.ReadFull(c.conn, respHeader[:]); err != nil {
+		return 0, nil, err
+	}
+	payloadLen := binary.BigEndian.Uint64(respHeader[1:])
+	if payloadLen > maxFrame {
+		return 0, nil, fmt.Errorf("store: response too large (%d)", payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(c.conn, payload); err != nil {
+		return 0, nil, err
+	}
+	return respHeader[0], payload, nil
+}
+
+// Put implements Store.
+func (c *Client) Put(key string, data []byte) error {
+	status, payload, err := c.roundTrip(opPut, key, data)
+	if err != nil {
+		return err
+	}
+	return statusToError(status, key, payload)
+}
+
+// Get implements Store.
+func (c *Client) Get(key string) ([]byte, error) {
+	status, payload, err := c.roundTrip(opGet, key, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusToError(status, key, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Delete implements Store.
+func (c *Client) Delete(key string) error {
+	status, payload, err := c.roundTrip(opDelete, key, nil)
+	if err != nil {
+		return err
+	}
+	return statusToError(status, key, payload)
+}
+
+// List implements Lister.
+func (c *Client) List(prefix string) ([]string, error) {
+	status, payload, err := c.roundTrip(opList, prefix, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusToError(status, prefix, payload); err != nil {
+		return nil, err
+	}
+	if len(payload) == 0 {
+		return nil, nil
+	}
+	return strings.Split(string(payload), "\n"), nil
+}
+
+func statusToError(status byte, key string, payload []byte) error {
+	switch status {
+	case statusOK:
+		return nil
+	case statusNotFound:
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	default:
+		return errors.New(string(payload))
+	}
+}

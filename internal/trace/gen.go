@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"notebookos/internal/resources"
+)
+
+// GenConfig parameterizes the synthetic workload generator. The model is:
+//
+//   - Sessions arrive by a non-homogeneous Poisson process with intensity
+//     SessionsPerHour(elapsed).
+//   - Each session lives for SessionLifetime seconds and reserves
+//     RequestGPUs GPUs (plus proportional CPU/memory/VRAM).
+//   - With probability PNeverTrains the session never submits a GPU task
+//     (the paper finds ~70 % of reserved GPUs are never used, §2.3.3).
+//   - A training session works in bursts: within a burst, tasks are
+//     submitted with think time ThinkTime after the previous completion;
+//     after each task the burst ends with probability PBurstEnd, followed
+//     by a long idle gap of BurstGap seconds. Bursty activity is what
+//     reconciles the short within-burst IATs of Fig. 2(b) with the very low
+//     session-lifetime GPU activity of Fig. 2(c).
+type GenConfig struct {
+	Name string
+	// Start and Duration delimit the generated trace.
+	Start    time.Time
+	Duration time.Duration
+	// Seed makes generation deterministic.
+	Seed int64
+	// SessionsPerHour is the Poisson arrival intensity as a function of
+	// elapsed time since Start. It must be bounded by MaxSessionsPerHour.
+	SessionsPerHour    func(elapsed time.Duration) float64
+	MaxSessionsPerHour float64
+	// SessionLifetime samples session lifetimes, in seconds.
+	SessionLifetime Sampler
+	// PNeverTrains is the probability a session submits no GPU tasks.
+	PNeverTrains float64
+	// ThinkTime samples the user's think time between a task's completion
+	// and the next submission within a burst, in seconds.
+	ThinkTime Sampler
+	// TaskDuration samples task execution times, in seconds.
+	TaskDuration Sampler
+	// PBurstEnd is the probability that a completed task ends the burst.
+	PBurstEnd float64
+	// BurstGap samples the idle gap between bursts, in seconds.
+	BurstGap Sampler
+	// PHeavy splits training sessions into heavy and light users: a
+	// heavy session (probability PHeavy) uses HeavyPBurstEnd/HeavyBurstGap
+	// instead of the base burst parameters. Real IDLT activity is highly
+	// skewed: a minority of sessions trains nearly continuously while the
+	// majority barely touches its GPUs (paper Fig. 2(c) vs Fig. 20).
+	// Zero or negative disables the split (all sessions use the base).
+	PHeavy float64
+	// HeavyPBurstEnd is the burst-end probability for heavy sessions.
+	HeavyPBurstEnd float64
+	// HeavyBurstGap samples inter-burst gaps for heavy sessions.
+	HeavyBurstGap Sampler
+	// RequestGPUs samples the per-session GPU reservation.
+	RequestGPUs *IntWeights
+	// TaskGPUs samples per-task GPU counts, capped at the session request.
+	TaskGPUs *IntWeights
+	// ConcurrentSubmission models BDLT batch queues (Philly/Alibaba):
+	// the next task is submitted ThinkTime after the previous *submission*
+	// rather than after its completion, so jobs overlap. IDLT users "do
+	// not submit concurrent tasks" (paper Observation 2), so AdobeTrace
+	// configs leave this false.
+	ConcurrentSubmission bool
+	// Granularity quantizes task submit times and durations (15 s for
+	// AdobeTrace); zero disables quantization.
+	Granularity time.Duration
+}
+
+func (c GenConfig) validate() error {
+	switch {
+	case c.SessionsPerHour == nil:
+		return fmt.Errorf("trace: SessionsPerHour required")
+	case c.MaxSessionsPerHour <= 0:
+		return fmt.Errorf("trace: MaxSessionsPerHour must be positive")
+	case c.SessionLifetime == nil || c.ThinkTime == nil || c.TaskDuration == nil || c.BurstGap == nil:
+		return fmt.Errorf("trace: all samplers required")
+	case c.RequestGPUs == nil || c.TaskGPUs == nil:
+		return fmt.Errorf("trace: GPU samplers required")
+	case c.Duration <= 0:
+		return fmt.Errorf("trace: non-positive duration")
+	}
+	return nil
+}
+
+// Generate produces a synthetic trace from cfg. The same config and seed
+// always produce the identical trace.
+func Generate(cfg GenConfig) (*Trace, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{
+		Name:        cfg.Name,
+		Start:       cfg.Start,
+		End:         cfg.Start.Add(cfg.Duration),
+		Granularity: cfg.Granularity,
+	}
+
+	// Non-homogeneous Poisson arrivals by thinning.
+	t := cfg.Start
+	id := 0
+	for {
+		gapHours := r.ExpFloat64() / cfg.MaxSessionsPerHour
+		t = t.Add(time.Duration(gapHours * float64(time.Hour)))
+		if !t.Before(tr.End) {
+			break
+		}
+		rate := cfg.SessionsPerHour(t.Sub(cfg.Start))
+		if rate > cfg.MaxSessionsPerHour {
+			return nil, fmt.Errorf("trace: intensity %v exceeds MaxSessionsPerHour %v", rate, cfg.MaxSessionsPerHour)
+		}
+		if r.Float64()*cfg.MaxSessionsPerHour > rate {
+			continue // thinned
+		}
+		id++
+		sess := genSession(cfg, r, fmt.Sprintf("%s-s%05d", cfg.Name, id), t, tr.End)
+		tr.Sessions = append(tr.Sessions, sess)
+	}
+	return tr, nil
+}
+
+// MustGenerate is Generate that panics on error; for tests and examples.
+func MustGenerate(cfg GenConfig) *Trace {
+	tr, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+func genSession(cfg GenConfig, r *rand.Rand, id string, start, traceEnd time.Time) *Session {
+	life := time.Duration(cfg.SessionLifetime.Sample(r) * float64(time.Second))
+	end := start.Add(life)
+	if end.After(traceEnd) {
+		end = traceEnd
+	}
+	gpus := cfg.RequestGPUs.SampleInt(r)
+	sess := &Session{
+		ID:    id,
+		Start: start,
+		End:   end,
+		Request: resources.Spec{
+			Millicpus: int64(gpus) * 8000,
+			MemoryMB:  int64(gpus) * 61 * 1024,
+			GPUs:      gpus,
+			VRAMGB:    float64(gpus) * 16,
+		},
+	}
+	if gpus == 0 || r.Float64() < cfg.PNeverTrains {
+		return sess
+	}
+	pBurstEnd := cfg.PBurstEnd
+	burstGap := cfg.BurstGap
+	if cfg.PHeavy > 0 && r.Float64() < cfg.PHeavy {
+		if cfg.HeavyPBurstEnd > 0 {
+			pBurstEnd = cfg.HeavyPBurstEnd
+		}
+		if cfg.HeavyBurstGap != nil {
+			burstGap = cfg.HeavyBurstGap
+		}
+	}
+
+	// First submission happens after an initial think time.
+	cur := start.Add(cfg.sampleDur(r, cfg.ThinkTime))
+	for cur.Before(end) {
+		d := cfg.quantize(cfg.sampleDur(r, cfg.TaskDuration))
+		if cur.Add(d).After(end) {
+			// Truncate the final task to the session end; drop slivers.
+			d = end.Sub(cur)
+			if d < cfg.minDuration() {
+				break
+			}
+		}
+		tg := cfg.TaskGPUs.SampleInt(r)
+		if tg > gpus {
+			tg = gpus
+		}
+		if tg < 1 {
+			tg = 1
+		}
+		submit := cfg.quantizeTime(cur)
+		if submit.Before(start) {
+			submit = start
+		}
+		sess.Tasks = append(sess.Tasks, Task{
+			Submit:   submit,
+			Duration: d,
+			GPUs:     tg,
+		})
+		if !cfg.ConcurrentSubmission {
+			cur = cur.Add(d)
+		}
+		if r.Float64() < pBurstEnd {
+			cur = cur.Add(cfg.sampleDur(r, burstGap))
+		} else {
+			cur = cur.Add(cfg.sampleDur(r, cfg.ThinkTime))
+		}
+	}
+	return sess
+}
+
+func (c GenConfig) sampleDur(r *rand.Rand, s Sampler) time.Duration {
+	d := time.Duration(s.Sample(r) * float64(time.Second))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+func (c GenConfig) minDuration() time.Duration {
+	if c.Granularity > 0 {
+		return c.Granularity
+	}
+	return time.Second
+}
+
+func (c GenConfig) quantize(d time.Duration) time.Duration {
+	if c.Granularity <= 0 {
+		return d
+	}
+	q := d.Round(c.Granularity)
+	if q < c.Granularity {
+		q = c.Granularity
+	}
+	return q
+}
+
+func (c GenConfig) quantizeTime(t time.Time) time.Time {
+	if c.Granularity <= 0 {
+		return t
+	}
+	// Truncate (floor) so a quantized submission never lands after the
+	// un-quantized one, keeping tasks within their session window.
+	return t.Truncate(c.Granularity)
+}

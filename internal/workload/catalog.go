@@ -1,0 +1,120 @@
+// Package workload provides the evaluation workload substrate: the model
+// and dataset catalog of the paper's Table 1, and the notebook runtime
+// builtins (load_dataset, create_model, train, ...) that cell code run on
+// NotebookOS kernels uses to perform simulated IDLT tasks.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Domain is an application domain from Table 1.
+type Domain string
+
+// Application domains of Table 1.
+const (
+	ComputerVision    Domain = "computer-vision"
+	NLP               Domain = "natural-language-processing"
+	SpeechRecognition Domain = "speech-recognition"
+)
+
+// Model is a deep learning model with its approximate parameter footprint.
+type Model struct {
+	Name string
+	// ParamBytes is the serialized parameter size (fp32).
+	ParamBytes int64
+	Domain     Domain
+}
+
+// Dataset is a training dataset with its approximate on-disk size.
+type Dataset struct {
+	Name      string
+	SizeBytes int64
+	Domain    Domain
+}
+
+// Models returns the Table 1 models with representative sizes.
+func Models() []Model {
+	return []Model{
+		{Name: "vgg16", ParamBytes: 528 << 20, Domain: ComputerVision},
+		{Name: "resnet18", ParamBytes: 45 << 20, Domain: ComputerVision},
+		{Name: "inception_v3", ParamBytes: 92 << 20, Domain: ComputerVision},
+		{Name: "bert", ParamBytes: 440 << 20, Domain: NLP},
+		{Name: "gpt2", ParamBytes: 548 << 20, Domain: NLP},
+		{Name: "deepspeech2", ParamBytes: 349 << 20, Domain: SpeechRecognition},
+	}
+}
+
+// Datasets returns the Table 1 datasets with representative sizes.
+func Datasets() []Dataset {
+	return []Dataset{
+		{Name: "cifar10", SizeBytes: 163 << 20, Domain: ComputerVision},
+		{Name: "cifar100", SizeBytes: 161 << 20, Domain: ComputerVision},
+		{Name: "tiny-imagenet", SizeBytes: 237 << 20, Domain: ComputerVision},
+		{Name: "imdb", SizeBytes: 80 << 20, Domain: NLP},
+		{Name: "cola", SizeBytes: 1 << 20, Domain: NLP},
+		{Name: "librispeech", SizeBytes: 60 << 30, Domain: SpeechRecognition},
+	}
+}
+
+// ModelByName finds a model in the catalog.
+func ModelByName(name string) (Model, bool) {
+	for _, m := range Models() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Model{}, false
+}
+
+// DatasetByName finds a dataset in the catalog.
+func DatasetByName(name string) (Dataset, bool) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}
+
+// Assignment pairs a model and dataset from the same domain, as the
+// paper's workload driver does ("randomly assigns each client an
+// application domain, after which a random dataset and model are
+// assigned").
+type Assignment struct {
+	Domain  Domain
+	Model   Model
+	Dataset Dataset
+}
+
+// Assign draws a random domain-consistent model/dataset pair.
+func Assign(r *rand.Rand) Assignment {
+	domains := []Domain{ComputerVision, NLP, SpeechRecognition}
+	d := domains[r.Intn(len(domains))]
+	var models []Model
+	for _, m := range Models() {
+		if m.Domain == d {
+			models = append(models, m)
+		}
+	}
+	var datasets []Dataset
+	for _, ds := range Datasets() {
+		if ds.Domain == d {
+			datasets = append(datasets, ds)
+		}
+	}
+	return Assignment{
+		Domain:  d,
+		Model:   models[r.Intn(len(models))],
+		Dataset: datasets[r.Intn(len(datasets))],
+	}
+}
+
+// TrainingCell renders the pynb cell a workload client submits for one
+// training task.
+func (a Assignment) TrainingCell(epochs int, gpus int, seconds float64) string {
+	return fmt.Sprintf(
+		"model = create_model(%q)\ndata = load_dataset(%q)\nresult = train(model, data, epochs=%d, gpus=%d, seconds=%g)\nprint(result.loss)\n",
+		a.Model.Name, a.Dataset.Name, epochs, gpus, seconds)
+}
