@@ -7,6 +7,7 @@ package notebookos_bench
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -140,6 +141,35 @@ func BenchmarkExecutorElection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := p.ExecuteSync(sess.ID, "x = 1\n", 30*time.Second); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFourPoliciesParallel measures the parallel experiment
+// harness's fan-out: all four policy baselines simulated concurrently
+// over one shared read-only trace (the per-figure access pattern). Wall
+// time approaches the slowest single policy rather than the sum.
+func BenchmarkFourPoliciesParallel(b *testing.B) {
+	cfg := trace.AdobeExcerptConfig(42)
+	cfg.Duration = 4 * time.Hour
+	tr := trace.MustGenerate(cfg)
+	policies := []sim.Policy{sim.PolicyReservation, sim.PolicyBatch, sim.PolicyNotebookOS, sim.PolicyLCP}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make([]error, len(policies))
+		for j, p := range policies {
+			wg.Add(1)
+			go func(j int, p sim.Policy) {
+				defer wg.Done()
+				_, errs[j] = sim.Run(sim.Config{Trace: tr, Policy: p, Hosts: 30, Seed: 42})
+			}(j, p)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -1,0 +1,141 @@
+// Command nbos-bench-snap records a benchmark snapshot of the simulator's
+// hot paths for tracking the performance trajectory across PRs. It runs
+// the three headline benchmark scenarios (Fig. 8 provisioned GPUs, Fig. 9a
+// interactivity, and the autoscaler-factor ablation sweep) via
+// testing.Benchmark and writes a JSON summary.
+//
+// Usage:
+//
+//	nbos-bench-snap [-o BENCH_BASELINE.json]
+//
+// The JSON carries both machine-dependent numbers (ns/op) and
+// machine-independent ones (allocs/op, simulated-event counts, benchmark
+// metric values); compare like with like.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"notebookos/internal/sim"
+	"notebookos/internal/trace"
+)
+
+// snapshot is one benchmark scenario's recorded result.
+type snapshot struct {
+	Name        string             `json:"name"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	GoVersion string     `json:"go_version"`
+	GOARCH    string     `json:"goarch"`
+	NumCPU    int        `json:"num_cpu"`
+	Scenarios []snapshot `json:"scenarios"`
+}
+
+func quickTrace() *trace.Trace {
+	cfg := trace.AdobeExcerptConfig(42)
+	cfg.Duration = 4 * time.Hour
+	return trace.MustGenerate(cfg)
+}
+
+func record(name string, metrics map[string]float64, fn func(b *testing.B)) snapshot {
+	r := testing.Benchmark(fn)
+	return snapshot{
+		Name:        name,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Metrics:     metrics,
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_BASELINE.json", "output path ('-' for stdout)")
+	flag.Parse()
+
+	tr := quickTrace()
+	rep := report{GoVersion: runtime.Version(), GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU()}
+
+	// Fig. 8: NotebookOS provisioned-GPU run plus the headline GPU-hours
+	// saved for the fixed seed.
+	var fig8 map[string]float64
+	rep.Scenarios = append(rep.Scenarios, record("fig08-provisioned-gpus", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		var saved float64
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(sim.Config{Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30, Seed: 42})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reserved := tr.ReservedGPUs().Integral(tr.Start, tr.End)
+			saved = reserved - res.ProvisionedGPUs.Integral(tr.Start, tr.End)
+		}
+		fig8 = map[string]float64{"gpuh_saved": saved}
+	}))
+	rep.Scenarios[len(rep.Scenarios)-1].Metrics = fig8
+
+	// Fig. 9a: interactivity-delay p50 for the fixed seed.
+	var fig9 map[string]float64
+	rep.Scenarios = append(rep.Scenarios, record("fig09a-interactivity", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		var p50 float64
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(sim.Config{Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30, Seed: 42})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p50 = res.Interactivity.Percentile(50) * 1000
+		}
+		fig9 = map[string]float64{"delay_p50_ms": p50}
+	}))
+	rep.Scenarios[len(rep.Scenarios)-1].Metrics = fig9
+
+	// Autoscaler-factor ablation: a four-config parallel sweep, the
+	// experiment harness's fan-out pattern.
+	rep.Scenarios = append(rep.Scenarios, record("ablation-scale-factor-sweep", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for _, f := range []float64{1.0, 1.05, 1.25, 1.5} {
+				wg.Add(1)
+				go func(f float64) {
+					defer wg.Done()
+					if _, err := sim.Run(sim.Config{
+						Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30,
+						ScaleFactor: f, Seed: 42,
+					}); err != nil {
+						b.Error(err)
+					}
+				}(f)
+			}
+			wg.Wait()
+		}
+	}))
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

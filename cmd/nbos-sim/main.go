@@ -5,13 +5,14 @@
 //
 //	nbos-sim -list
 //	nbos-sim -exp fig8 [-seed 42] [-quick]
-//	nbos-sim -exp all
+//	nbos-sim -exp all [-jobs 8]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"notebookos/internal/experiments"
@@ -23,6 +24,7 @@ func main() {
 		seed  = flag.Int64("seed", 42, "random seed")
 		quick = flag.Bool("quick", false, "reduced-scale run")
 		list  = flag.Bool("list", false, "list experiments")
+		jobs  = flag.Int("jobs", runtime.NumCPU(), "concurrent experiments for -exp all (output stays in paper order)")
 	)
 	flag.Parse()
 
@@ -38,20 +40,8 @@ func main() {
 	}
 
 	o := experiments.Options{Seed: *seed, Quick: *quick}
-	run := func(e experiments.Experiment) {
-		t0 := time.Now()
-		out, err := e.Run(o)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		fmt.Print(out)
-		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(t0).Seconds())
-	}
 	if *exp == "all" {
-		for _, e := range experiments.All() {
-			run(e)
-		}
+		runAll(o, *jobs)
 		return
 	}
 	e, ok := experiments.ByID(*exp)
@@ -59,5 +49,55 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
 		os.Exit(2)
 	}
-	run(e)
+	t0 := time.Now()
+	out, err := e.Run(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+	fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(t0).Seconds())
+}
+
+// runAll executes every experiment with up to jobs running concurrently.
+// Experiment outputs print strictly in paper order — byte-identical to a
+// sequential run (simulations are seed-deterministic regardless of
+// scheduling) — and stream as soon as every earlier experiment has
+// printed, rather than buffering behind the slowest of the whole suite.
+func runAll(o experiments.Options, jobs int) {
+	all := experiments.All()
+	if jobs < 1 {
+		jobs = 1
+	}
+	type outcome struct {
+		out  string
+		err  error
+		took time.Duration
+	}
+	results := make([]outcome, len(all))
+	done := make([]chan struct{}, len(all))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	sem := make(chan struct{}, jobs)
+	for i, e := range all {
+		go func(i int, e experiments.Experiment) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			out, err := e.Run(o)
+			results[i] = outcome{out: out, err: err, took: time.Since(t0)}
+			close(done[i])
+		}(i, e)
+	}
+	for i, e := range all {
+		<-done[i]
+		r := results[i]
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, r.err)
+			os.Exit(1)
+		}
+		fmt.Print(r.out)
+		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, r.took.Seconds())
+	}
 }

@@ -1,0 +1,3 @@
+module notebookos
+
+go 1.24

@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"notebookos/internal/resources"
+)
+
+// recount recomputes the cluster aggregates from scratch by scanning every
+// member host — the ground truth the incremental counters must track.
+func recount(c *Cluster) (total, subscribed, committed int) {
+	for _, h := range c.Hosts() {
+		total += h.Capacity.GPUs
+		subscribed += h.Subscribed().GPUs
+		committed += h.Committed().GPUs
+	}
+	return
+}
+
+func checkAggregates(t *testing.T, c *Cluster, step string) {
+	t.Helper()
+	total, subscribed, committed := recount(c)
+	if got := c.TotalGPUs(); got != total {
+		t.Fatalf("%s: TotalGPUs = %d, recount = %d", step, got, total)
+	}
+	if got := c.SubscribedGPUs(); got != subscribed {
+		t.Fatalf("%s: SubscribedGPUs = %d, recount = %d", step, got, subscribed)
+	}
+	if got := c.CommittedGPUs(); got != committed {
+		t.Fatalf("%s: CommittedGPUs = %d, recount = %d", step, got, committed)
+	}
+}
+
+// TestAggregatesMatchRecountProperty drives a random operation sequence
+// (add/remove hosts, place/remove replicas, commit/release) and asserts
+// after every step that the O(1) incremental counters equal a from-scratch
+// recount.
+func TestAggregatesMatchRecountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := New(3)
+		cap8 := resources.Spec{Millicpus: 64000, MemoryMB: 488 << 10, GPUs: 8, VRAMGB: 128}
+		var hosts []*Host
+		type placement struct {
+			h   *Host
+			key string
+		}
+		var replicas, commits []placement
+		nextID := 0
+
+		for step := 0; step < 300; step++ {
+			switch op := r.Intn(6); op {
+			case 0: // add host
+				nextID++
+				h := NewHost(fmt.Sprintf("h%03d", nextID), cap8)
+				if err := c.AddHost(h); err != nil {
+					return false
+				}
+				hosts = append(hosts, h)
+			case 1: // remove a replica-free host
+				for i, h := range hosts {
+					if h.NumReplicas() == 0 {
+						if err := c.RemoveHost(h.ID); err != nil {
+							return false
+						}
+						hosts = append(hosts[:i], hosts[i+1:]...)
+						// Drop bookkeeping for commitments on the removed
+						// host (they no longer count toward the cluster).
+						kept := commits[:0]
+						for _, p := range commits {
+							if p.h != h {
+								kept = append(kept, p)
+							}
+						}
+						commits = kept
+						break
+					}
+				}
+			case 2: // place replica
+				if len(hosts) > 0 {
+					h := hosts[r.Intn(len(hosts))]
+					key := fmt.Sprintf("k%d/r%d", step, r.Intn(3)+1)
+					req := resources.Spec{Millicpus: 4000, MemoryMB: 16 << 10, GPUs: r.Intn(4) + 1, VRAMGB: 16}
+					if err := h.PlaceReplica(key, req); err == nil {
+						replicas = append(replicas, placement{h, key})
+					}
+				}
+			case 3: // remove replica
+				if len(replicas) > 0 {
+					i := r.Intn(len(replicas))
+					p := replicas[i]
+					if err := p.h.RemoveReplica(p.key); err != nil {
+						return false
+					}
+					replicas = append(replicas[:i], replicas[i+1:]...)
+				}
+			case 4: // commit
+				if len(hosts) > 0 {
+					h := hosts[r.Intn(len(hosts))]
+					key := fmt.Sprintf("c%d", step)
+					req := resources.Spec{Millicpus: 4000, MemoryMB: 16 << 10, GPUs: r.Intn(4) + 1, VRAMGB: 16}
+					if h.Commit(key, req) == nil {
+						commits = append(commits, placement{h, key})
+					}
+				}
+			case 5: // release
+				if len(commits) > 0 {
+					i := r.Intn(len(commits))
+					p := commits[i]
+					if err := p.h.Release(p.key); err != nil {
+						return false
+					}
+					commits = append(commits[:i], commits[i+1:]...)
+				}
+			}
+			total, subscribed, committed := recount(c)
+			if c.TotalGPUs() != total || c.SubscribedGPUs() != subscribed || c.CommittedGPUs() != committed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAggregatesAttachDetach: a host that already carries subscriptions
+// and commitments contributes them on AddHost and withdraws them on
+// RemoveHost.
+func TestAggregatesAttachDetach(t *testing.T) {
+	cap8 := resources.Spec{Millicpus: 64000, MemoryMB: 488 << 10, GPUs: 8, VRAMGB: 128}
+	req := resources.Spec{Millicpus: 4000, MemoryMB: 16 << 10, GPUs: 2, VRAMGB: 32}
+	h := NewHost("pre", cap8)
+	if err := h.Commit("warm", req); err != nil {
+		t.Fatal(err)
+	}
+	c := New(3)
+	checkAggregates(t, c, "empty")
+	if err := c.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	checkAggregates(t, c, "after add")
+	if got := c.CommittedGPUs(); got != 2 {
+		t.Fatalf("CommittedGPUs = %d, want 2 (pre-existing commitment)", got)
+	}
+	if err := c.RemoveHost("pre"); err != nil {
+		t.Fatal(err)
+	}
+	checkAggregates(t, c, "after remove")
+	if got := c.TotalGPUs(); got != 0 {
+		t.Fatalf("TotalGPUs = %d, want 0", got)
+	}
+	// Mutations after detach must not corrupt the (now empty) cluster.
+	if err := h.Release("warm"); err != nil {
+		t.Fatal(err)
+	}
+	checkAggregates(t, c, "after detached release")
+}
+
+// TestCapacityNotifierFires: AddHost and member Release fire the
+// notifier; a detached host's Release does not.
+func TestCapacityNotifierFires(t *testing.T) {
+	cap8 := resources.Spec{Millicpus: 64000, MemoryMB: 488 << 10, GPUs: 8, VRAMGB: 128}
+	req := resources.Spec{Millicpus: 4000, MemoryMB: 16 << 10, GPUs: 1, VRAMGB: 16}
+	c := New(3)
+	fired := 0
+	c.SetCapacityNotifier(func() { fired++ })
+
+	h := NewHost("n1", cap8)
+	if err := c.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("AddHost fired %d notifications, want 1", fired)
+	}
+	if err := h.Commit("x", req); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("Commit should not notify (fired=%d)", fired)
+	}
+	if err := h.Release("x"); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("Release fired %d notifications, want 2", fired)
+	}
+	if err := c.RemoveHost("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Commit("y", req); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Release("y"); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("detached Release fired notification (fired=%d)", fired)
+	}
+}
+
+// TestAggregatesConcurrentMembershipAndCommits hammers commit/release on
+// one goroutine while the host joins and leaves the cluster on another
+// (the live control plane's autoscaler pattern). At quiescence the
+// incremental counters must match a recount exactly — the commit/release
+// deltas and the attach/detach snapshots serialize on the host lock.
+func TestAggregatesConcurrentMembershipAndCommits(t *testing.T) {
+	cap8 := resources.Spec{Millicpus: 64000, MemoryMB: 488 << 10, GPUs: 8, VRAMGB: 128}
+	req := resources.Spec{Millicpus: 1000, MemoryMB: 4 << 10, GPUs: 1, VRAMGB: 16}
+	c := New(3)
+	h := NewHost("contended", cap8)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			key := fmt.Sprintf("c%d", i)
+			if h.Commit(key, req) == nil {
+				_ = h.Release(key)
+			}
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		if err := c.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RemoveHost(h.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+
+	// Quiescent and detached: everything released, nothing attached.
+	checkAggregates(t, c, "after contention")
+	if got := c.CommittedGPUs(); got != 0 {
+		t.Fatalf("CommittedGPUs = %d, want 0 (counter drifted)", got)
+	}
+	// Re-attach: the host's ledger must still be exact.
+	if err := c.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	checkAggregates(t, c, "after re-add")
+}

@@ -5,12 +5,20 @@
 // schedulers (internal/scheduler) and the discrete-event simulator
 // (internal/sim) operate on this state, so placement decisions cannot
 // drift between the two.
+//
+// Cluster-wide GPU aggregates (total / subscribed / committed) are
+// maintained incrementally: every PlaceReplica, RemoveReplica, Commit,
+// Release, AddHost, and RemoveHost updates atomic counters, so TotalGPUs,
+// SubscribedGPUs, CommittedGPUs, and SRLimit are O(1) instead of O(hosts)
+// scans. The invariant — counters always equal a from-scratch recount over
+// the member hosts — is enforced by a property test.
 package cluster
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"notebookos/internal/gpu"
 	"notebookos/internal/resources"
@@ -20,6 +28,15 @@ import (
 // has three replicas (§3.1; R=5 costs too much, R=2 is unsupported by Raft).
 const DefaultReplicasPerKernel = 3
 
+// aggregates holds the cluster-wide incremental GPU counters. Mutations
+// happen under the owning host's lock (see Host.committedGPUs); atomics
+// make the reads lock-free without taking host or cluster locks.
+type aggregates struct {
+	totalGPUs      atomic.Int64
+	subscribedGPUs atomic.Int64
+	committedGPUs  atomic.Int64
+}
+
 // Host is one GPU server.
 type Host struct {
 	ID       string
@@ -27,23 +44,97 @@ type Host struct {
 
 	// Committed tracks exclusive bindings during cell execution.
 	committed *resources.Pool
-	// Devices tracks per-device GPU allocation.
-	Devices *gpu.Pool
+	// devices tracks per-device GPU allocation, built lazily: the
+	// simulator creates tens of thousands of hosts per benchmark run and
+	// never touches device identity, while the live Local Scheduler does.
+	devicesOnce sync.Once
+	devices     *gpu.Pool
 
 	mu         sync.Mutex
 	subscribed resources.Spec
 	replicas   map[string]resources.Spec
+	// committedGPUs is the host's own ledger of committed GPUs, updated
+	// under mu by the pool observers. attach/detach read it (also under
+	// mu) instead of snapshotting the pool, so a commit/release delta and
+	// a membership change can never interleave in a way that makes the
+	// cluster counters drift: every delta lands in the ledger exactly
+	// once, and in the aggregates exactly when the host is attached.
+	committedGPUs int
+	// agg points at the owning cluster's counters while the host is a
+	// member; nil otherwise.
+	agg *aggregates
+	// released is invoked (without locks held) after every successful
+	// Release while the host is a cluster member; the cluster forwards it
+	// to capacity wait-queues.
+	released func()
 }
 
 // NewHost returns a host with the given capacity.
 func NewHost(id string, capacity resources.Spec) *Host {
-	return &Host{
+	h := &Host{
 		ID:        id,
 		Capacity:  capacity,
 		committed: resources.NewPool(capacity),
-		Devices:   gpu.NewPool(id, capacity.GPUs),
 		replicas:  map[string]resources.Spec{},
 	}
+	h.committed.Observe(h.onCommitted, h.onReleased)
+	return h
+}
+
+// Devices returns the host's per-device GPU allocation pool, creating it
+// on first use.
+func (h *Host) Devices() *gpu.Pool {
+	h.devicesOnce.Do(func() {
+		h.devices = gpu.NewPool(h.ID, h.Capacity.GPUs)
+	})
+	return h.devices
+}
+
+func (h *Host) onCommitted(req resources.Spec) {
+	h.mu.Lock()
+	h.committedGPUs += req.GPUs
+	if h.agg != nil {
+		h.agg.committedGPUs.Add(int64(req.GPUs))
+	}
+	h.mu.Unlock()
+}
+
+func (h *Host) onReleased(req resources.Spec) {
+	h.mu.Lock()
+	h.committedGPUs -= req.GPUs
+	if h.agg != nil {
+		h.agg.committedGPUs.Add(-int64(req.GPUs))
+	}
+	released := h.released
+	h.mu.Unlock()
+	if released != nil {
+		released()
+	}
+}
+
+// attach makes the host contribute to a cluster's aggregate counters and
+// wires its release notifier. Called by Cluster.AddHost.
+func (h *Host) attach(agg *aggregates, released func()) {
+	h.mu.Lock()
+	h.agg = agg
+	h.released = released
+	agg.totalGPUs.Add(int64(h.Capacity.GPUs))
+	agg.subscribedGPUs.Add(int64(h.subscribed.GPUs))
+	agg.committedGPUs.Add(int64(h.committedGPUs))
+	h.mu.Unlock()
+}
+
+// detach reverses attach. Called by Cluster.RemoveHost.
+func (h *Host) detach() {
+	h.mu.Lock()
+	if agg := h.agg; agg != nil {
+		agg.totalGPUs.Add(-int64(h.Capacity.GPUs))
+		agg.subscribedGPUs.Add(-int64(h.subscribed.GPUs))
+		agg.committedGPUs.Add(-int64(h.committedGPUs))
+	}
+	h.agg = nil
+	h.released = nil
+	h.mu.Unlock()
 }
 
 // PlaceReplica subscribes a kernel replica's resource request on the host.
@@ -61,6 +152,9 @@ func (h *Host) PlaceReplica(replicaID string, req resources.Spec) error {
 	}
 	h.replicas[replicaID] = req
 	h.subscribed = h.subscribed.Add(req)
+	if h.agg != nil {
+		h.agg.subscribedGPUs.Add(int64(req.GPUs))
+	}
 	return nil
 }
 
@@ -74,6 +168,9 @@ func (h *Host) RemoveReplica(replicaID string) error {
 	}
 	delete(h.replicas, replicaID)
 	h.subscribed = h.subscribed.Sub(req)
+	if h.agg != nil {
+		h.agg.subscribedGPUs.Add(-int64(req.GPUs))
+	}
 	return nil
 }
 
@@ -119,6 +216,13 @@ func (h *Host) Subscribed() resources.Spec {
 	return h.subscribed
 }
 
+// SubscribedGPUs returns the host's subscribed GPU count.
+func (h *Host) SubscribedGPUs() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.subscribed.GPUs
+}
+
 // SubscriptionRatio returns S/(G*R) for this host (paper §3.4.1), where S
 // is subscribed GPUs, G the host's GPU count, and R replicas per kernel.
 func (h *Host) SubscriptionRatio(replicasPerKernel int) float64 {
@@ -138,7 +242,9 @@ func (h *Host) Commit(holder string, req resources.Spec) error {
 	return h.committed.Commit(holder, req)
 }
 
-// Release returns holder's committed resources.
+// Release returns holder's committed resources. While the host is a
+// cluster member, a successful release also fires the cluster's capacity
+// notifier so wait-queues can hand the freed capacity to queued work.
 func (h *Host) Release(holder string) error {
 	return h.committed.Release(holder)
 }
@@ -160,10 +266,17 @@ func (h *Host) IdleGPUs() int {
 
 // Cluster is the set of hosts plus cluster-wide SR accounting.
 type Cluster struct {
-	mu                sync.Mutex
-	hosts             map[string]*Host
-	order             []string // host IDs in insertion order
+	mu    sync.Mutex
+	hosts map[string]*Host
+	// list holds the member hosts in insertion order. It is an immutable
+	// snapshot, rebuilt on every membership change, so iteration never
+	// holds the cluster lock.
+	list              []*Host
 	replicasPerKernel int
+	agg               aggregates
+	// notifier is invoked after every capacity-freeing transition
+	// (AddHost, or any member host's Release).
+	notifier func()
 }
 
 // New returns an empty cluster with the given replication factor R.
@@ -180,36 +293,63 @@ func New(replicasPerKernel int) *Cluster {
 // ReplicasPerKernel returns R.
 func (c *Cluster) ReplicasPerKernel() int { return c.replicasPerKernel }
 
+// SetCapacityNotifier registers fn to run after every capacity-freeing
+// transition: a host joining the cluster or a member host releasing a
+// commitment. The simulator points this at its capacity wait-queue so a
+// saturated cluster costs O(waiters) wakeup events instead of polling.
+// Must be set before the cluster is shared between goroutines.
+func (c *Cluster) SetCapacityNotifier(fn func()) {
+	c.mu.Lock()
+	c.notifier = fn
+	c.mu.Unlock()
+}
+
+func (c *Cluster) capacityFreed() {
+	c.mu.Lock()
+	fn := c.notifier
+	c.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
 // AddHost adds a host; the ID must be unique.
 func (c *Cluster) AddHost(h *Host) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, ok := c.hosts[h.ID]; ok {
+		c.mu.Unlock()
 		return fmt.Errorf("cluster: host %s already present", h.ID)
 	}
 	c.hosts[h.ID] = h
-	c.order = append(c.order, h.ID)
+	c.list = append(append(make([]*Host, 0, len(c.list)+1), c.list...), h)
+	c.mu.Unlock()
+	h.attach(&c.agg, c.capacityFreed)
+	c.capacityFreed()
 	return nil
 }
 
 // RemoveHost removes a host; it must have no subscribed replicas.
 func (c *Cluster) RemoveHost(id string) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	h, ok := c.hosts[id]
 	if !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("cluster: host %s not present", id)
 	}
-	if h.NumReplicas() > 0 {
-		return fmt.Errorf("cluster: host %s still has %d replicas", id, h.NumReplicas())
+	if n := h.NumReplicas(); n > 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: host %s still has %d replicas", id, n)
 	}
 	delete(c.hosts, id)
-	for i, hid := range c.order {
-		if hid == id {
-			c.order = append(c.order[:i], c.order[i+1:]...)
-			break
+	list := make([]*Host, 0, len(c.list)-1)
+	for _, lh := range c.list {
+		if lh != h {
+			list = append(list, lh)
 		}
 	}
+	c.list = list
+	c.mu.Unlock()
+	h.detach()
 	return nil
 }
 
@@ -221,15 +361,28 @@ func (c *Cluster) Host(id string) (*Host, bool) {
 	return h, ok
 }
 
-// Hosts returns all hosts in insertion order.
+// Hosts returns a copy of all hosts in insertion order. Prefer ForEachHost
+// in hot paths: it does not allocate.
 func (c *Cluster) Hosts() []*Host {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]*Host, 0, len(c.order))
-	for _, id := range c.order {
-		out = append(out, c.hosts[id])
-	}
+	out := make([]*Host, len(c.list))
+	copy(out, c.list)
 	return out
+}
+
+// ForEachHost calls fn for every host in insertion order until fn returns
+// false. It iterates a membership snapshot without allocating, so fn may
+// add or remove hosts (the iteration still sees the snapshot).
+func (c *Cluster) ForEachHost(fn func(*Host) bool) {
+	c.mu.Lock()
+	list := c.list
+	c.mu.Unlock()
+	for _, h := range list {
+		if !fn(h) {
+			return
+		}
+	}
 }
 
 // NumHosts returns the number of hosts.
@@ -239,32 +392,23 @@ func (c *Cluster) NumHosts() int {
 	return len(c.hosts)
 }
 
-// TotalGPUs returns the cluster GPU capacity (sum of G).
+// TotalGPUs returns the cluster GPU capacity (sum of G). O(1): maintained
+// incrementally on AddHost/RemoveHost.
 func (c *Cluster) TotalGPUs() int {
-	total := 0
-	for _, h := range c.Hosts() {
-		total += h.Capacity.GPUs
-	}
-	return total
+	return int(c.agg.totalGPUs.Load())
 }
 
 // SubscribedGPUs returns the cluster-wide subscribed GPU count (sum of S).
+// O(1): maintained incrementally on PlaceReplica/RemoveReplica.
 func (c *Cluster) SubscribedGPUs() int {
-	total := 0
-	for _, h := range c.Hosts() {
-		total += h.Subscribed().GPUs
-	}
-	return total
+	return int(c.agg.subscribedGPUs.Load())
 }
 
 // CommittedGPUs returns the GPUs actively committed to executing replicas
-// across the cluster (sum of C in the auto-scaler formula, §3.4.2).
+// across the cluster (sum of C in the auto-scaler formula, §3.4.2). O(1):
+// maintained incrementally on Commit/Release.
 func (c *Cluster) CommittedGPUs() int {
-	total := 0
-	for _, h := range c.Hosts() {
-		total += h.Committed().GPUs
-	}
-	return total
+	return int(c.agg.committedGPUs.Load())
 }
 
 // SRLimit returns the dynamic cluster-wide subscription-ratio limit

@@ -8,28 +8,45 @@
 package des
 
 import (
-	"container/heap"
 	"time"
 )
 
 // Handler is the work executed when an event fires.
 type Handler func()
 
-// Event is a scheduled occurrence. Cancel prevents a not-yet-fired event
-// from running; cancelling a fired event is a no-op.
+// Event is a scheduled occurrence. Cancel removes a not-yet-fired event
+// from the engine's queue; cancelling a fired event is a no-op.
 type Event struct {
-	at       time.Time
+	at time.Time
+	// atns caches at.UnixNano(): heap comparisons are the engine's hottest
+	// operation and integer compares beat time.Time's wall/monotonic
+	// decoding. Simulation timestamps stay well within int64-nanosecond
+	// range (years 1678-2262).
+	atns     int64
 	seq      int64
 	fn       Handler
 	canceled bool
+	pooled   bool
 	index    int // heap index, -1 once popped
+	eng      *Engine
 }
 
 // At returns the time the event is scheduled to fire.
 func (e *Event) At() time.Time { return e.at }
 
-// Cancel prevents the event from firing.
-func (e *Event) Cancel() { e.canceled = true }
+// Cancel prevents the event from firing and immediately reaps it from the
+// engine's queue (via the maintained heap index), so long simulations do
+// not accumulate dead heap entries.
+func (e *Event) Cancel() {
+	if e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 && e.eng != nil {
+		e.eng.remove(e.index)
+		e.fn = nil
+	}
+}
 
 // Canceled reports whether Cancel was called.
 func (e *Event) Canceled() bool { return e.canceled }
@@ -41,6 +58,11 @@ type Engine struct {
 	seq     int64
 	steps   int64
 	stopped bool
+	// free recycles events scheduled through Schedule/Defer, which hand
+	// out no handle and therefore cannot be retained or cancelled by the
+	// caller. The simulator's hot path schedules hundreds of thousands of
+	// such fire-and-forget events per run.
+	free []*Event
 }
 
 // New returns an engine whose clock starts at start.
@@ -54,25 +76,52 @@ func (e *Engine) Now() time.Time { return e.now }
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() int64 { return e.steps }
 
-// Len returns the number of pending (not yet fired) events, including
-// cancelled ones that have not been reaped.
+// Len returns the number of pending (not yet fired) events. Cancelled
+// events are reaped eagerly and are not counted.
 func (e *Engine) Len() int { return len(e.pq) }
 
-// At schedules fn at absolute time t. Scheduling in the past schedules at
-// the current time (it will still run strictly after the current event).
+// At schedules fn at absolute time t and returns a cancellable handle.
+// Scheduling in the past schedules at the current time (it will still run
+// strictly after the current event).
 func (e *Engine) At(t time.Time, fn Handler) *Event {
 	if t.Before(e.now) {
 		t = e.now
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.pq, ev)
+	ev := &Event{at: t, atns: t.UnixNano(), seq: e.seq, fn: fn, eng: e}
+	e.push(ev)
 	return ev
 }
 
-// After schedules fn d from now.
+// After schedules fn d from now and returns a cancellable handle.
 func (e *Engine) After(d time.Duration, fn Handler) *Event {
 	return e.At(e.now.Add(d), fn)
+}
+
+// Schedule schedules fn at absolute time t without returning a handle.
+// The event cannot be cancelled, which lets the engine recycle its
+// allocation once fired. Prefer this in hot paths that never cancel.
+func (e *Engine) Schedule(t time.Time, fn Handler) {
+	if t.Before(e.now) {
+		t = e.now
+	}
+	e.seq++
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.atns, ev.seq, ev.fn, ev.canceled = t, t.UnixNano(), e.seq, fn, false
+	} else {
+		ev = &Event{at: t, atns: t.UnixNano(), seq: e.seq, fn: fn, eng: e}
+	}
+	ev.pooled = true
+	e.push(ev)
+}
+
+// Defer schedules fn d from now without returning a handle (see Schedule).
+func (e *Engine) Defer(d time.Duration, fn Handler) {
+	e.Schedule(e.now.Add(d), fn)
 }
 
 // Stop makes Run/RunUntil return after the current event completes.
@@ -90,7 +139,8 @@ func (e *Engine) Run() {
 // then advances the clock to deadline.
 func (e *Engine) RunUntil(deadline time.Time) {
 	e.stopped = false
-	for len(e.pq) > 0 && !e.stopped && !e.pq[0].at.After(deadline) {
+	dns := deadline.UnixNano()
+	for len(e.pq) > 0 && !e.stopped && e.pq[0].atns <= dns {
 		e.step()
 	}
 	if !e.stopped && deadline.After(e.now) {
@@ -99,40 +149,115 @@ func (e *Engine) RunUntil(deadline time.Time) {
 }
 
 func (e *Engine) step() {
-	ev := heap.Pop(&e.pq).(*Event)
+	ev := e.pop()
 	if ev.canceled {
 		return
 	}
 	e.now = ev.at
 	e.steps++
-	ev.fn()
+	fn := ev.fn
+	if ev.pooled {
+		ev.fn = nil
+		e.free = append(e.free, ev)
+	}
+	fn()
 }
 
+// ---- event queue --------------------------------------------------------
+
+// eventHeap is a hand-rolled 4-ary min-heap ordered by (atns, seq).
+// Hand-rolling (instead of container/heap) removes interface dispatch
+// from the engine's hottest loop, and the wider fan-out halves sift depth
+// — swaps, not compares, dominate once the ordering key is an integer.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at.Equal(h[j].at) {
-		return h[i].seq < h[j].seq
+// eventBefore is the strict (time, sequence) ordering.
+func eventBefore(a, b *Event) bool {
+	if a.atns != b.atns {
+		return a.atns < b.atns
 	}
-	return h[i].at.Before(h[j].at)
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+func (e *Engine) push(ev *Event) {
+	ev.index = len(e.pq)
+	e.pq = append(e.pq, ev)
+	e.pq.siftUp(ev.index)
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+
+func (e *Engine) pop() *Event {
+	h := e.pq
+	ev := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.pq = h[:n]
+	if n > 0 {
+		last.index = 0
+		e.pq[0] = last
+		e.pq.siftDown(0)
+	}
 	ev.index = -1
-	*h = old[:n-1]
 	return ev
+}
+
+// remove deletes the event at heap index i.
+func (e *Engine) remove(i int) {
+	h := e.pq
+	ev := h[i]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.pq = h[:n]
+	if i < n {
+		last.index = i
+		e.pq[i] = last
+		e.pq.siftDown(i)
+		e.pq.siftUp(last.index)
+	}
+	ev.index = -1
+}
+
+func (h eventHeap) siftUp(i int) {
+	ev := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventBefore(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = i
+		i = p
+	}
+	h[i] = ev
+	ev.index = i
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	ev := h[i]
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventBefore(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !eventBefore(h[best], ev) {
+			break
+		}
+		h[i] = h[best]
+		h[i].index = i
+		i = best
+	}
+	h[i] = ev
+	ev.index = i
 }

@@ -149,3 +149,106 @@ func TestOrderProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCancelReapsImmediately: cancelling removes the event from the queue
+// right away, so Len reflects only live events and long runs do not
+// accumulate dead heap entries.
+func TestCancelReapsImmediately(t *testing.T) {
+	e := New(t0)
+	evs := make([]*Event, 100)
+	for i := range evs {
+		evs[i] = e.After(time.Duration(i+1)*time.Second, func() {})
+	}
+	if e.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", e.Len())
+	}
+	for i, ev := range evs {
+		if i%2 == 0 {
+			ev.Cancel()
+		}
+	}
+	if e.Len() != 50 {
+		t.Fatalf("Len after cancelling half = %d, want 50", e.Len())
+	}
+	fired := 0
+	e.Run()
+	if fired = int(e.Steps()); fired != 50 {
+		t.Fatalf("fired %d events, want 50", fired)
+	}
+	if e.Len() != 0 {
+		t.Fatalf("Len after run = %d, want 0", e.Len())
+	}
+}
+
+// TestScheduleRecyclesDeterministically: the no-handle Schedule/Defer path
+// recycles event allocations without disturbing (time, seq) ordering.
+func TestScheduleRecyclesDeterministically(t *testing.T) {
+	run := func() []int {
+		e := New(t0)
+		var order []int
+		for i := 0; i < 50; i++ {
+			i := i
+			d := time.Duration((i*7919)%100) * time.Millisecond
+			e.Defer(d, func() {
+				order = append(order, i)
+				if i%3 == 0 {
+					e.Defer(time.Millisecond, func() { order = append(order, 1000+i) })
+				}
+			})
+		}
+		e.Run()
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Ties must still break by scheduling sequence.
+	e := New(t0)
+	var tie []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Defer(time.Second, func() { tie = append(tie, i) })
+	}
+	e.Run()
+	for i, v := range tie {
+		if v != i {
+			t.Fatalf("tie order = %v, want FIFO", tie)
+		}
+	}
+}
+
+// TestCancelInterleavedWithPooled: cancellable and pooled events coexist
+// on one queue; removal keeps the heap invariant intact.
+func TestCancelInterleavedWithPooled(t *testing.T) {
+	e := New(t0)
+	var fired []int
+	var cancels []*Event
+	for i := 0; i < 200; i++ {
+		i := i
+		d := time.Duration((i*131)%977) * time.Millisecond
+		if i%2 == 0 {
+			cancels = append(cancels, e.After(d, func() { fired = append(fired, i) }))
+		} else {
+			e.Schedule(t0.Add(d), func() { fired = append(fired, i) })
+		}
+	}
+	for i, ev := range cancels {
+		if i%2 == 0 {
+			ev.Cancel()
+		}
+	}
+	e.Run()
+	want := 200 - (len(cancels)+1)/2
+	if len(fired) != want {
+		t.Fatalf("fired %d events, want %d", len(fired), want)
+	}
+	if e.Len() != 0 {
+		t.Fatalf("Len = %d after run", e.Len())
+	}
+}

@@ -12,17 +12,23 @@ import (
 // multiplies standby cost without interactivity gains (§3.1).
 func AblationReplicas(o Options) (string, error) {
 	tr := excerptTrace(o)
+	rs := []int{1, 3, 5}
+	cfgs := make([]sim.Config, len(rs))
+	for i, r := range rs {
+		cfgs[i] = sim.Config{
+			Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30,
+			ReplicasPerKernel: r, Seed: o.seed(),
+		}
+	}
+	results, err := parallelSims(cfgs)
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	b.WriteString(header("ablation-replicas", "Replication factor R", o))
 	fmt.Fprintf(&b, "%-4s %14s %12s %12s %16s\n", "R", "delay-p99", "migrations", "immediate%", "standby-rep-h")
-	for _, r := range []int{1, 3, 5} {
-		res, err := sim.Run(sim.Config{
-			Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30,
-			ReplicasPerKernel: r, Seed: o.seed(),
-		})
-		if err != nil {
-			return "", err
-		}
+	for i, r := range rs {
+		res := results[i]
 		imm := 0.0
 		if res.Tasks > 0 {
 			imm = float64(res.ImmediateCommits) / float64(res.Tasks) * 100
@@ -39,17 +45,23 @@ func AblationReplicas(o Options) (string, error) {
 // contention (fewer migrations) but need more hosts.
 func AblationSR(o Options) (string, error) {
 	tr := excerptTrace(o)
+	wms := []float64{1.0, 1.5, 2.0, 3.0}
+	cfgs := make([]sim.Config, len(wms))
+	for i, wm := range wms {
+		cfgs[i] = sim.Config{
+			Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30,
+			SRHighWatermark: wm, Seed: o.seed(),
+		}
+	}
+	results, err := parallelSims(cfgs)
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	b.WriteString(header("ablation-sr", "SR high watermark", o))
 	fmt.Fprintf(&b, "%-6s %14s %12s %14s\n", "SRmax", "delay-p99", "migrations", "gpu-hours")
-	for _, wm := range []float64{1.0, 1.5, 2.0, 3.0} {
-		res, err := sim.Run(sim.Config{
-			Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30,
-			SRHighWatermark: wm, Seed: o.seed(),
-		})
-		if err != nil {
-			return "", err
-		}
+	for i, wm := range wms {
+		res := results[i]
 		fmt.Fprintf(&b, "%-6.1f %14s %12d %14.0f\n",
 			wm, fmtSeconds(res.Interactivity.Percentile(99)), res.Migrations,
 			res.ProvisionedGPUs.Integral(tr.Start, tr.End))
@@ -61,17 +73,23 @@ func AblationSR(o Options) (string, error) {
 // paper uses 1.05).
 func AblationScaleFactor(o Options) (string, error) {
 	tr := excerptTrace(o)
+	fs := []float64{1.0, 1.05, 1.25, 1.5}
+	cfgs := make([]sim.Config, len(fs))
+	for i, f := range fs {
+		cfgs[i] = sim.Config{
+			Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30,
+			ScaleFactor: f, Seed: o.seed(),
+		}
+	}
+	results, err := parallelSims(cfgs)
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	b.WriteString(header("ablation-f", "Autoscaler factor f", o))
 	fmt.Fprintf(&b, "%-6s %14s %12s %14s %10s\n", "f", "delay-p99", "migrations", "gpu-hours", "scaleouts")
-	for _, f := range []float64{1.0, 1.05, 1.25, 1.5} {
-		res, err := sim.Run(sim.Config{
-			Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30,
-			ScaleFactor: f, Seed: o.seed(),
-		})
-		if err != nil {
-			return "", err
-		}
+	for i, f := range fs {
+		res := results[i]
 		fmt.Fprintf(&b, "%-6.2f %14s %12d %14.0f %10d\n",
 			f, fmtSeconds(res.Interactivity.Percentile(99)), res.Migrations,
 			res.ProvisionedGPUs.Integral(tr.Start, tr.End), res.ScaleOuts)
@@ -84,17 +102,23 @@ func AblationScaleFactor(o Options) (string, error) {
 // determines whether migrations pay warm-attach or full cold-start costs.
 func AblationPrewarm(o Options) (string, error) {
 	tr := excerptTrace(o)
+	pools := []int{1, 2, 4, 8}
+	cfgs := make([]sim.Config, len(pools))
+	for i, pool := range pools {
+		cfgs[i] = sim.Config{
+			Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30,
+			PrewarmPerHost: pool, Seed: o.seed(),
+		}
+	}
+	results, err := parallelSims(cfgs)
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	b.WriteString(header("ablation-prewarm", "Pre-warm pool size", o))
 	fmt.Fprintf(&b, "%-6s %14s %12s %12s\n", "pool", "delay-p99", "cold", "warm")
-	for _, pool := range []int{1, 2, 4, 8} {
-		res, err := sim.Run(sim.Config{
-			Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30,
-			PrewarmPerHost: pool, Seed: o.seed(),
-		})
-		if err != nil {
-			return "", err
-		}
+	for i, pool := range pools {
+		res := results[i]
 		fmt.Fprintf(&b, "%-6d %14s %12d %12d\n",
 			pool, fmtSeconds(res.Interactivity.Percentile(99)), res.ColdStarts, res.WarmStarts)
 	}

@@ -15,18 +15,11 @@ import (
 // 23.52 % fewer GPUs than NotebookOS but 18.18 % more than Batch.
 func Fig8(o Options) (string, error) {
 	tr := excerptTrace(o)
-	batch, err := runSim(o, "excerpt", tr, sim.PolicyBatch)
+	results, err := runSims(o, "excerpt", tr, sim.PolicyBatch, sim.PolicyNotebookOS, sim.PolicyLCP)
 	if err != nil {
 		return "", err
 	}
-	nbos, err := runSim(o, "excerpt", tr, sim.PolicyNotebookOS)
-	if err != nil {
-		return "", err
-	}
-	lcp, err := runSim(o, "excerpt", tr, sim.PolicyLCP)
-	if err != nil {
-		return "", err
-	}
+	batch, nbos, lcp := results[0], results[1], results[2]
 	oracle := tr.UtilizedGPUs()
 	reservation := tr.ReservedGPUs()
 
@@ -56,20 +49,16 @@ func Fig8(o Options) (string, error) {
 	return b.String(), nil
 }
 
-// fourPolicies runs the excerpt under all four baselines.
+// fourPolicies runs the excerpt under all four baselines, one goroutine
+// per policy.
 func fourPolicies(o Options) (reserv, batch, nbos, lcp *sim.Result, err error) {
 	tr := excerptTrace(o)
-	if reserv, err = runSim(o, "excerpt", tr, sim.PolicyReservation); err != nil {
-		return
+	results, err := runSims(o, "excerpt", tr,
+		sim.PolicyReservation, sim.PolicyBatch, sim.PolicyNotebookOS, sim.PolicyLCP)
+	if err != nil {
+		return nil, nil, nil, nil, err
 	}
-	if batch, err = runSim(o, "excerpt", tr, sim.PolicyBatch); err != nil {
-		return
-	}
-	if nbos, err = runSim(o, "excerpt", tr, sim.PolicyNotebookOS); err != nil {
-		return
-	}
-	lcp, err = runSim(o, "excerpt", tr, sim.PolicyLCP)
-	return
+	return results[0], results[1], results[2], results[3], nil
 }
 
 // Fig9a reproduces the interactivity-delay CDFs. Paper anchors:

@@ -88,9 +88,15 @@ type traceKey struct {
 	quick bool
 }
 
+// traceEntry is a singleflight cache slot for generated traces.
+type traceEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+}
+
 var (
 	traceMu    sync.Mutex
-	traceCache = map[traceKey]*trace.Trace{}
+	traceCache = map[traceKey]*traceEntry{}
 )
 
 // excerptTrace returns the 17.5-hour excerpt (4 h in quick mode).
@@ -137,13 +143,16 @@ func alibabaTrace(o Options) *trace.Trace {
 
 func cachedTrace(key traceKey, gen func() *trace.Trace) *trace.Trace {
 	traceMu.Lock()
-	defer traceMu.Unlock()
-	if tr, ok := traceCache[key]; ok {
-		return tr
+	e, ok := traceCache[key]
+	if !ok {
+		e = &traceEntry{}
+		traceCache[key] = e
 	}
-	tr := gen()
-	traceCache[key] = tr
-	return tr
+	traceMu.Unlock()
+	// Singleflight: concurrent callers for the same trace generate once
+	// and share the result.
+	e.once.Do(func() { e.tr = gen() })
+	return e.tr
 }
 
 type simKey struct {
@@ -153,33 +162,85 @@ type simKey struct {
 	quick  bool
 }
 
+// simEntry is a singleflight cache slot: when figures run their policy
+// simulations on parallel goroutines, concurrent requests for the same
+// (trace, policy, seed) run the simulation exactly once.
+type simEntry struct {
+	once sync.Once
+	res  *sim.Result
+	err  error
+}
+
 var (
 	simMu    sync.Mutex
-	simCache = map[simKey]*sim.Result{}
+	simCache = map[simKey]*simEntry{}
 )
 
 // runSim runs (with caching) one policy over the named trace.
 func runSim(o Options, kind string, tr *trace.Trace, policy sim.Policy) (*sim.Result, error) {
 	key := simKey{kind, policy, o.seed(), o.Quick}
 	simMu.Lock()
-	if res, ok := simCache[key]; ok {
-		simMu.Unlock()
-		return res, nil
+	e, ok := simCache[key]
+	if !ok {
+		e = &simEntry{}
+		simCache[key] = e
 	}
 	simMu.Unlock()
-	res, err := sim.Run(sim.Config{
-		Trace:  tr,
-		Policy: policy,
-		Hosts:  30,
-		Seed:   o.seed(),
+	e.once.Do(func() {
+		e.res, e.err = sim.Run(sim.Config{
+			Trace:  tr,
+			Policy: policy,
+			Hosts:  30,
+			Seed:   o.seed(),
+		})
 	})
-	if err != nil {
-		return nil, err
+	return e.res, e.err
+}
+
+// runSims runs one simulation per policy on parallel goroutines (each
+// sim.Run owns its RNGs, seeded only by the config, so results are
+// independent of scheduling) and returns results in argument order.
+func runSims(o Options, kind string, tr *trace.Trace, policies ...sim.Policy) ([]*sim.Result, error) {
+	results := make([]*sim.Result, len(policies))
+	errs := make([]error, len(policies))
+	var wg sync.WaitGroup
+	for i, p := range policies {
+		wg.Add(1)
+		go func(i int, p sim.Policy) {
+			defer wg.Done()
+			results[i], errs[i] = runSim(o, kind, tr, p)
+		}(i, p)
 	}
-	simMu.Lock()
-	simCache[key] = res
-	simMu.Unlock()
-	return res, nil
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// parallelSims runs uncached per-config simulations (ablation sweeps) on
+// parallel goroutines, returning results in input order. Per-run seeds
+// live in the configs, so output is byte-identical to a sequential sweep.
+func parallelSims(cfgs []sim.Config) ([]*sim.Result, error) {
+	results := make([]*sim.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = sim.Run(cfgs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 // header renders a standard experiment banner.

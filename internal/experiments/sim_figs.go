@@ -129,14 +129,11 @@ func reexecutionSavings(tr *trace.Trace, interval time.Duration) (gpuHours float
 // Fig14a reproduces the simulated cluster-wide allocatable-GPU timeline.
 func Fig14a(o Options) (string, error) {
 	tr := summerTrace(o)
-	nbos, err := runSim(o, "summer", tr, sim.PolicyNotebookOS)
+	results, err := runSims(o, "summer", tr, sim.PolicyNotebookOS, sim.PolicyLCP)
 	if err != nil {
 		return "", err
 	}
-	lcp, err := runSim(o, "summer", tr, sim.PolicyLCP)
-	if err != nil {
-		return "", err
-	}
+	nbos, lcp := results[0], results[1]
 	oracle := tr.UtilizedGPUs()
 	reserved := tr.ReservedGPUs()
 

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"time"
 )
@@ -74,13 +75,17 @@ func (tl *Timeline) Integral(from, to time.Time) float64 {
 	if !to.After(from) || len(tl.times) == 0 {
 		return 0
 	}
+	// Binary-search the first point after from instead of scanning from
+	// index 0: integrating a suffix of a long timeline is O(log n + span).
+	idx := sort.Search(len(tl.times), func(i int) bool { return tl.times[i].After(from) })
 	var total float64
 	cur := from
-	curVal := tl.At(from)
-	for i, ti := range tl.times {
-		if !ti.After(cur) {
-			continue
-		}
+	curVal := 0.0
+	if idx > 0 {
+		curVal = tl.values[idx-1]
+	}
+	for i := idx; i < len(tl.times); i++ {
+		ti := tl.times[i]
 		if ti.After(to) {
 			break
 		}

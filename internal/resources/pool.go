@@ -16,11 +16,27 @@ type Pool struct {
 	capacity  Spec
 	committed Spec
 	holders   map[string]Spec
+
+	// onCommit/onRelease observe successful commits and releases. They are
+	// invoked outside the pool lock so observers may inspect the pool; the
+	// cluster layer uses them to maintain O(1) committed-GPU aggregates and
+	// to wake capacity wait-queues on release.
+	onCommit  func(Spec)
+	onRelease func(Spec)
 }
 
 // NewPool returns a pool with the given capacity and nothing committed.
 func NewPool(capacity Spec) *Pool {
 	return &Pool{capacity: capacity, holders: make(map[string]Spec)}
+}
+
+// Observe registers observers called after every successful Commit and
+// Release respectively (either may be nil). Observers run outside the pool
+// lock, on the committing/releasing goroutine. Observe must be called
+// before the pool is shared between goroutines.
+func (p *Pool) Observe(onCommit, onRelease func(Spec)) {
+	p.onCommit = onCommit
+	p.onRelease = onRelease
 }
 
 // Capacity returns the pool's total capacity.
@@ -58,16 +74,21 @@ func (p *Pool) Commit(holder string, req Spec) error {
 		return err
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if _, ok := p.holders[holder]; ok {
+		p.mu.Unlock()
 		return fmt.Errorf("resources: %q already holds a commitment", holder)
 	}
 	if !req.Fits(p.capacity.Sub(p.committed)) {
-		return fmt.Errorf("resources: insufficient idle capacity for %v (idle %v)",
-			req, p.capacity.Sub(p.committed))
+		idle := p.capacity.Sub(p.committed)
+		p.mu.Unlock()
+		return fmt.Errorf("resources: insufficient idle capacity for %v (idle %v)", req, idle)
 	}
 	p.holders[holder] = req
 	p.committed = p.committed.Add(req)
+	p.mu.Unlock()
+	if p.onCommit != nil {
+		p.onCommit(req)
+	}
 	return nil
 }
 
@@ -75,13 +96,17 @@ func (p *Pool) Commit(holder string, req Spec) error {
 // no commitment is an error so accounting bugs surface immediately.
 func (p *Pool) Release(holder string) error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	req, ok := p.holders[holder]
 	if !ok {
+		p.mu.Unlock()
 		return fmt.Errorf("resources: %q holds no commitment", holder)
 	}
 	delete(p.holders, holder)
 	p.committed = p.committed.Sub(req)
+	p.mu.Unlock()
+	if p.onRelease != nil {
+		p.onRelease(req)
+	}
 	return nil
 }
 

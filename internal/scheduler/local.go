@@ -107,7 +107,7 @@ func (ls *LocalScheduler) ForwardExecute(replicaID, holder string, msg jupyter.M
 	if err := ls.Host.Commit(holder, req); err != nil {
 		lead = false
 	} else if req.GPUs > 0 {
-		ids, gerr := ls.Host.Devices.Allocate(holder, req.GPUs)
+		ids, gerr := ls.Host.Devices().Allocate(holder, req.GPUs)
 		if gerr != nil {
 			// Commitment succeeded but devices are fragmented/busy; release
 			// and yield.
@@ -125,8 +125,8 @@ func (ls *LocalScheduler) ForwardExecute(replicaID, holder string, msg jupyter.M
 
 // ReleaseExecution returns the resources committed for holder, if any.
 func (ls *LocalScheduler) ReleaseExecution(holder string) {
-	if _, ok := ls.Host.Devices.Holding(holder); ok {
-		_ = ls.Host.Devices.Release(holder)
+	if _, ok := ls.Host.Devices().Holding(holder); ok {
+		_ = ls.Host.Devices().Release(holder)
 	}
 	_ = ls.Host.Release(holder)
 }

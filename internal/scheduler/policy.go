@@ -48,7 +48,56 @@ type LeastLoaded struct {
 // Name implements PlacementPolicy.
 func (LeastLoaded) Name() string { return "least-loaded" }
 
-// SelectHosts implements PlacementPolicy.
+// scored is one placement candidate with its selection keys.
+type scored struct {
+	h      *cluster.Host
+	postSR float64
+	idle   int
+}
+
+// better reports whether a ranks strictly before b in least-loaded order:
+// most idle GPUs first, then lowest post-placement SR, then host ID.
+func (a scored) better(b scored) bool {
+	if a.idle != b.idle {
+		return a.idle > b.idle
+	}
+	if a.postSR != b.postSR {
+		return a.postSR < b.postSR
+	}
+	return a.h.ID < b.h.ID
+}
+
+// topN keeps the n best candidates in selection order via insertion into a
+// small sorted array — a partial selection that replaces the former
+// collect-everything-then-sort.Slice pass, doing O(hosts·n) comparisons
+// with no per-host allocation.
+type topN struct {
+	buf []scored
+	cap int
+}
+
+func (t *topN) insert(s scored) {
+	if len(t.buf) == t.cap && t.buf[len(t.buf)-1].better(s) {
+		return
+	}
+	i := len(t.buf)
+	if i < t.cap {
+		t.buf = append(t.buf, s)
+	} else {
+		i--
+	}
+	for i > 0 && s.better(t.buf[i-1]) {
+		t.buf[i] = t.buf[i-1]
+		i--
+	}
+	t.buf[i] = s
+}
+
+// SelectHosts implements PlacementPolicy. It streams over the cluster's
+// hosts exactly once, maintaining two partial selections: hosts whose
+// post-placement SR stays within the dynamic cluster-wide limit
+// ("balanced"), and all viable hosts as a fallback when the balance rule
+// leaves fewer than n candidates.
 func (p LeastLoaded) SelectHosts(c *cluster.Cluster, req resources.Spec, n int) ([]*cluster.Host, error) {
 	watermark := p.SRHighWatermark
 	if watermark <= 0 {
@@ -57,62 +106,44 @@ func (p LeastLoaded) SelectHosts(c *cluster.Cluster, req resources.Spec, n int) 
 	r := c.ReplicasPerKernel()
 	limit := c.SRLimit()
 
-	type scored struct {
-		h       *cluster.Host
-		postSR  float64
-		idle    int
-		balance bool
-	}
-	var viable []scored
-	for _, h := range c.Hosts() {
+	balanced := topN{buf: make([]scored, 0, n), cap: n}
+	viable := topN{buf: make([]scored, 0, n), cap: n}
+	balancedCount := 0
+	c.ForEachHost(func(h *cluster.Host) bool {
 		if !req.Fits(h.Capacity) {
-			continue
+			return true
 		}
-		postSubscribed := h.Subscribed().GPUs + req.GPUs
+		postSubscribed := h.SubscribedGPUs() + req.GPUs
 		postSR := 0.0
 		if h.Capacity.GPUs > 0 && r > 0 {
 			postSR = float64(postSubscribed) / float64(h.Capacity.GPUs*r)
 		}
 		if postSR > watermark {
-			continue
+			return true
 		}
-		viable = append(viable, scored{
-			h:      h,
-			postSR: postSR,
-			idle:   h.IdleGPUs(),
-			// The dynamic limit only constrains once the cluster has
-			// subscriptions; at bootstrap (limit 0) every host balances.
-			balance: limit == 0 || postSR <= limit,
-		})
-	}
+		s := scored{h: h, postSR: postSR, idle: h.IdleGPUs()}
+		viable.insert(s)
+		// The dynamic limit only constrains once the cluster has
+		// subscriptions; at bootstrap (limit 0) every host balances.
+		if limit == 0 || postSR <= limit {
+			balancedCount++
+			balanced.insert(s)
+		}
+		return true
+	})
 	// Prefer balanced hosts; fall back to all viable ones if the balance
 	// rule leaves too few candidates.
-	candidates := make([]scored, 0, len(viable))
-	for _, s := range viable {
-		if s.balance {
-			candidates = append(candidates, s)
-		}
+	sel := balanced.buf
+	if balancedCount < n {
+		sel = viable.buf
 	}
-	if len(candidates) < n {
-		candidates = viable
-	}
-	if len(candidates) < n {
+	if len(sel) < n {
 		return nil, fmt.Errorf("%w: need %d, found %d viable (req %v)",
-			ErrInsufficientHosts, n, len(candidates), req)
+			ErrInsufficientHosts, n, len(sel), req)
 	}
-	sort.Slice(candidates, func(i, j int) bool {
-		// Least-loaded: fewest actively-used GPUs first, i.e. most idle.
-		if candidates[i].idle != candidates[j].idle {
-			return candidates[i].idle > candidates[j].idle
-		}
-		if candidates[i].postSR != candidates[j].postSR {
-			return candidates[i].postSR < candidates[j].postSR
-		}
-		return candidates[i].h.ID < candidates[j].h.ID
-	})
 	out := make([]*cluster.Host, n)
 	for i := 0; i < n; i++ {
-		out[i] = candidates[i].h
+		out[i] = sel[i].h
 	}
 	return out, nil
 }
@@ -131,11 +162,12 @@ func (*Random) Name() string { return "random" }
 // SelectHosts implements PlacementPolicy.
 func (p *Random) SelectHosts(c *cluster.Cluster, req resources.Spec, n int) ([]*cluster.Host, error) {
 	var viable []*cluster.Host
-	for _, h := range c.Hosts() {
+	c.ForEachHost(func(h *cluster.Host) bool {
 		if req.Fits(h.Capacity) {
 			viable = append(viable, h)
 		}
-	}
+		return true
+	})
 	if len(viable) < n {
 		return nil, fmt.Errorf("%w: need %d, found %d viable", ErrInsufficientHosts, n, len(viable))
 	}
@@ -169,20 +201,21 @@ func (p Packed) SelectHosts(c *cluster.Cluster, req resources.Spec, n int) ([]*c
 	}
 	r := c.ReplicasPerKernel()
 	var viable []*cluster.Host
-	for _, h := range c.Hosts() {
+	c.ForEachHost(func(h *cluster.Host) bool {
 		if !req.Fits(h.Capacity) {
-			continue
+			return true
 		}
-		postSubscribed := h.Subscribed().GPUs + req.GPUs
+		postSubscribed := h.SubscribedGPUs() + req.GPUs
 		postSR := 0.0
 		if h.Capacity.GPUs > 0 && r > 0 {
 			postSR = float64(postSubscribed) / float64(h.Capacity.GPUs*r)
 		}
 		if postSR > watermark {
-			continue
+			return true
 		}
 		viable = append(viable, h)
-	}
+		return true
+	})
 	if len(viable) < n {
 		return nil, fmt.Errorf("%w: need %d, found %d viable", ErrInsufficientHosts, n, len(viable))
 	}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"notebookos/internal/trace"
+)
+
+// fingerprint collapses a Result into the values the experiment harness
+// consumes, so two runs can be compared for bit-identical behavior.
+type fingerprint struct {
+	tasks, immediate, reuse     int
+	migrations, failed          int
+	scaleOuts, scaleIns         int
+	coldStarts, warmStarts      int
+	events                      int
+	tctP50, tctP99              float64
+	delayP50, delayP99          float64
+	activeGPUHours, serverHours float64
+	reservedHours, standbyHours float64
+	provisionedIntegral         float64
+	committedIntegral           float64
+	srMax                       float64
+}
+
+func fingerprintOf(tr *trace.Trace, r *Result) fingerprint {
+	return fingerprint{
+		tasks: r.Tasks, immediate: r.ImmediateCommits, reuse: r.ExecutorReuse,
+		migrations: r.Migrations, failed: r.FailedMigrations,
+		scaleOuts: r.ScaleOuts, scaleIns: r.ScaleIns,
+		coldStarts: r.ColdStarts, warmStarts: r.WarmStarts,
+		events:              len(r.Events),
+		tctP50:              r.TCT.Percentile(50),
+		tctP99:              r.TCT.Percentile(99),
+		delayP50:            r.Interactivity.Percentile(50),
+		delayP99:            r.Interactivity.Percentile(99),
+		activeGPUHours:      r.ActiveGPUHours,
+		serverHours:         r.ServerHours,
+		reservedHours:       r.ReservedGPUHours,
+		standbyHours:        r.StandbyReplicaHours,
+		provisionedIntegral: r.ProvisionedGPUs.Integral(tr.Start, tr.End),
+		committedIntegral:   r.CommittedGPUs.Integral(tr.Start, tr.End),
+		srMax:               r.SR.Max(),
+	}
+}
+
+// TestSameSeedBitForBitAllPolicies double-runs every policy with a fixed
+// seed and asserts the Results are identical — the determinism guarantee
+// the event-driven wait-queue and parallel harness must preserve.
+func TestSameSeedBitForBitAllPolicies(t *testing.T) {
+	cfg := trace.AdobeExcerptConfig(33)
+	cfg.Duration = 4 * time.Hour
+	tr := trace.MustGenerate(cfg)
+	for _, p := range []Policy{PolicyReservation, PolicyBatch, PolicyNotebookOS, PolicyLCP} {
+		a := runPolicy(t, tr, p)
+		b := runPolicy(t, tr, p)
+		fa, fb := fingerprintOf(tr, a), fingerprintOf(tr, b)
+		if fa != fb {
+			t.Errorf("%s: same seed diverged:\n  run1: %+v\n  run2: %+v", p, fa, fb)
+		}
+	}
+}
+
+// TestSameSeedDeterministicUnderConcurrency runs the same config on
+// several goroutines at once (the parallel harness's access pattern,
+// including the shared read-only trace) and asserts identical results.
+func TestSameSeedDeterministicUnderConcurrency(t *testing.T) {
+	cfg := trace.AdobeExcerptConfig(34)
+	cfg.Duration = 4 * time.Hour
+	tr := trace.MustGenerate(cfg)
+
+	const n = 4
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			results[i], errs[i] = Run(Config{Trace: tr, Policy: PolicyNotebookOS, Hosts: 30, Seed: 9})
+			done <- i
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+	}
+	want := fingerprintOf(tr, results[0])
+	for i := 1; i < n; i++ {
+		if got := fingerprintOf(tr, results[i]); got != want {
+			t.Errorf("concurrent run %d diverged:\n  want %+v\n  got  %+v", i, want, got)
+		}
+	}
+}

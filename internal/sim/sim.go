@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"notebookos/internal/cluster"
@@ -184,12 +185,33 @@ type simSession struct {
 	assig workload.Assignment
 
 	// NotebookOS: replica hosts; Reservation: the single reserved host.
-	hosts        []*cluster.Host
+	hosts []*cluster.Host
+	// rkeys caches the session's replica subscription keys ("<id>/r<i>"),
+	// built once at kernel creation and reused at shutdown and on every
+	// migration.
+	rkeys        []string
 	lastExecutor int
 	busyUntil    time.Time
 	queue        []trace.Task
 	running      bool
 	closed       bool
+}
+
+// replicaKeyFor returns the cached key for replica i (1-based).
+func (ss *simSession) replicaKeyFor(i int) string {
+	for len(ss.rkeys) < i {
+		ss.rkeys = append(ss.rkeys, replicaKey(ss.src.ID, len(ss.rkeys)+1))
+	}
+	return ss.rkeys[i-1]
+}
+
+// simHost pairs a cluster host with the simulator's per-host state (the
+// warm-container count), so the hot placement scans walk one slice
+// instead of re-fetching the host list and hitting a string-keyed map.
+type simHost struct {
+	h *cluster.Host
+	// warm counts pre-warmed containers available on the host.
+	warm int
 }
 
 // sim is the mutable simulation state.
@@ -203,11 +225,35 @@ type sim struct {
 
 	sessions map[string]*simSession
 	hostSeq  int
+	// hostList mirrors the cluster membership in insertion order and
+	// carries warm-pool counts.
+	hostList []*simHost
 	// pendingHosts counts servers being provisioned (scale-out latency).
 	pendingHosts int
-	// warm pools per host (count only; container identity is irrelevant
-	// at simulation granularity).
-	warmPool map[string]int
+	// waitq parks tasks blocked on cluster capacity; it is woken by the
+	// cluster's Release/AddHost notifications.
+	waitq *capacityWaitQueue
+}
+
+// holderKey builds "<kind>/<session>/<nanos>" without fmt — this runs once
+// per task attempt on the simulator's hot path.
+func holderKey(kind, sessionID string, nanos int64) string {
+	b := make([]byte, 0, len(kind)+len(sessionID)+22)
+	b = append(b, kind...)
+	b = append(b, '/')
+	b = append(b, sessionID...)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, nanos, 10)
+	return string(b)
+}
+
+// replicaKey builds "<session>/r<i>" without fmt.
+func replicaKey(sessionID string, i int) string {
+	b := make([]byte, 0, len(sessionID)+10)
+	b = append(b, sessionID...)
+	b = append(b, '/', 'r')
+	b = strconv.AppendInt(b, int64(i), 10)
+	return string(b)
 }
 
 // Run executes the simulation and returns its result.
@@ -215,14 +261,15 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.withDefaults(); err != nil {
 		return nil, err
 	}
+	eng := des.New(cfg.Trace.Start)
 	s := &sim{
 		cfg:      cfg,
-		eng:      des.New(cfg.Trace.Start),
+		eng:      eng,
 		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
 		cluster:  cluster.New(cfg.ReplicasPerKernel),
 		policy:   scheduler.LeastLoaded{SRHighWatermark: cfg.SRHighWatermark},
 		sessions: map[string]*simSession{},
-		warmPool: map[string]int{},
+		waitq:    newCapacityWaitQueue(eng),
 		res: &Result{
 			Policy:          cfg.Policy,
 			ProvisionedGPUs: metrics.NewTimeline(),
@@ -238,6 +285,7 @@ func Run(cfg Config) (*Result, error) {
 			WriteLatency:    metrics.NewSample(),
 		},
 	}
+	s.cluster.SetCapacityNotifier(s.waitq.Notify)
 	for _, st := range Steps() {
 		s.res.StepLatency[st] = metrics.NewSample()
 	}
@@ -250,11 +298,11 @@ func Run(cfg Config) (*Result, error) {
 		sess := sess
 		ss := &simSession{src: sess, req: sess.Request, assig: workload.Assign(wr)}
 		s.sessions[sess.ID] = ss
-		s.eng.At(sess.Start, func() { s.sessionStart(ss) })
-		s.eng.At(sess.End, func() { s.sessionEnd(ss) })
+		s.eng.Schedule(sess.Start, func() { s.sessionStart(ss) })
+		s.eng.Schedule(sess.End, func() { s.sessionEnd(ss) })
 		for _, task := range sess.Tasks {
 			task := task
-			s.eng.At(task.Submit, func() { s.taskArrive(ss, task) })
+			s.eng.Schedule(task.Submit, func() { s.taskArrive(ss, task) })
 		}
 	}
 
@@ -270,14 +318,15 @@ func Run(cfg Config) (*Result, error) {
 
 func (s *sim) now() time.Time { return s.eng.Now() }
 
-func (s *sim) addHost() *cluster.Host {
+func (s *sim) addHost() *simHost {
 	s.hostSeq++
 	h := cluster.NewHost(fmt.Sprintf("sim-h%04d", s.hostSeq), s.cfg.HostCapacity)
 	if err := s.cluster.AddHost(h); err != nil {
 		panic(err)
 	}
-	s.warmPool[h.ID] = s.cfg.PrewarmPerHost
-	return h
+	sh := &simHost{h: h, warm: s.cfg.PrewarmPerHost}
+	s.hostList = append(s.hostList, sh)
+	return sh
 }
 
 func (s *sim) recordEvent(kind scheduler.EventKind) {
@@ -292,15 +341,15 @@ func (s *sim) sessionStart(ss *simSession) {
 	case PolicyReservation:
 		// Bind GPUs for the whole session; grow the cluster when full
 		// (the provider provisions to fit all reservations).
-		h := s.hostWithIdle(ss.req)
-		if h == nil {
-			h = s.addHost()
+		sh := s.hostWithIdle(ss.req)
+		if sh == nil {
+			sh = s.addHost()
 		}
-		if err := h.Commit("sess/"+ss.src.ID, ss.req); err != nil {
+		if err := sh.h.Commit("sess/"+ss.src.ID, ss.req); err != nil {
 			// A fresh host always fits a valid request.
 			panic(err)
 		}
-		ss.hosts = []*cluster.Host{h}
+		ss.hosts = []*cluster.Host{sh.h}
 	case PolicyNotebookOS:
 		hosts, err := s.policy.SelectHosts(s.cluster, ss.req, s.cfg.ReplicasPerKernel)
 		if err != nil {
@@ -318,7 +367,7 @@ func (s *sim) sessionStart(ss *simSession) {
 			}
 		}
 		for i, h := range hosts {
-			_ = h.PlaceReplica(fmt.Sprintf("%s/r%d", ss.src.ID, i+1), ss.req)
+			_ = h.PlaceReplica(ss.replicaKeyFor(i+1), ss.req)
 		}
 		ss.hosts = hosts
 		s.recordEvent(scheduler.EventKernelCreated)
@@ -341,7 +390,7 @@ func (s *sim) sessionEnd(ss *simSession) {
 		}
 	case PolicyNotebookOS:
 		for i, h := range ss.hosts {
-			_ = h.RemoveReplica(fmt.Sprintf("%s/r%d", ss.src.ID, i+1))
+			_ = h.RemoveReplica(ss.replicaKeyFor(i + 1))
 		}
 		s.sampleSR()
 	}
@@ -383,7 +432,7 @@ func (s *sim) startTask(ss *simSession, task trace.Task, submit time.Time) {
 	case PolicyBatch:
 		s.runBatchTask(ss, task, submit)
 	case PolicyNotebookOS:
-		s.runNbosTask(ss, task, submit, 0)
+		s.runNbosTask(ss, task, submit)
 	case PolicyLCP:
 		s.runLCPTask(ss, task, submit)
 	}
@@ -415,17 +464,17 @@ func (s *sim) runReservationTask(ss *simSession, task trace.Task, submit time.Ti
 	hops := lat.Hop(s.rng) + lat.Hop(s.rng)
 	delay := step1 + step5 + step7 + hops
 
-	s.eng.At(submit.Add(delay), func() {
+	s.eng.Schedule(submit.Add(delay), func() {
 		s.markTraining(ss, task, s.now(), true)
 	})
-	s.eng.At(submit.Add(delay+task.Duration), func() {
+	s.eng.Schedule(submit.Add(delay+task.Duration), func() {
 		// Reservation persists updated state synchronously (Fig. 16 step 9).
 		post := lat.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng)
 		s.res.WriteLatency.Add(post.Seconds())
 		s.sampleStep(StepPostProc, post)
 		s.sampleStep(StepExec, task.Duration)
 		ret := s.sampleStep(StepReturn, lat.Hop(s.rng))
-		s.eng.After(post+ret, func() {
+		s.eng.Defer(post+ret, func() {
 			s.markTraining(ss, task, s.now(), false)
 			s.finishTask(ss, submit, delay, task.Duration, post)
 		})
@@ -434,24 +483,23 @@ func (s *sim) runReservationTask(ss *simSession, task trace.Task, submit time.Ti
 
 // runBatchTask: FCFS on-demand provisioning: wait for free GPUs, cold
 // start a container, download model+dataset, execute, persist, terminate.
+// When the cluster is saturated the task parks on the capacity wait-queue
+// and is retried on the next Release/AddHost notification.
 func (s *sim) runBatchTask(ss *simSession, task trace.Task, submit time.Time) {
 	lat := s.cfg.Latencies
 	// A batch job requests the session's full configured resources, the
 	// way a slurm submission would, not just the GPUs this task touches.
 	req := ss.req
-	holder := fmt.Sprintf("batch/%s/%d", ss.src.ID, submit.UnixNano())
+	holder := holderKey("batch", ss.src.ID, submit.UnixNano())
 
-	var attempt func()
-	attempt = func() {
-		h := s.hostWithIdle(req)
-		if h == nil {
-			// Queue: retry when capacity frees up (FCFS approximation).
-			s.eng.After(15*time.Second, attempt)
-			return
+	attempt := func() bool {
+		sh := s.hostWithIdle(req)
+		if sh == nil {
+			return false
 		}
+		h := sh.h
 		if err := h.Commit(holder, req); err != nil {
-			s.eng.After(15*time.Second, attempt)
-			return
+			return false
 		}
 		queueing := s.now().Sub(submit)
 		cold := lat.ColdStart(s.rng)
@@ -464,32 +512,45 @@ func (s *sim) runBatchTask(ss *simSession, task trace.Task, submit time.Time) {
 		step7 := s.sampleStep(StepIntermed, lat.Transfer.LoadTime(ss.assig.Model.ParamBytes, task.GPUs))
 		delay := step1 + step5 + step7
 
-		s.eng.After(delay, func() {
+		s.eng.Defer(delay, func() {
 			s.markTraining(ss, task, s.now(), true)
-			s.eng.After(task.Duration, func() {
+			s.eng.Defer(task.Duration, func() {
 				s.sampleStep(StepExec, task.Duration)
 				post := lat.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng)
 				s.res.WriteLatency.Add(post.Seconds())
 				s.sampleStep(StepPostProc, post)
 				ret := s.sampleStep(StepReturn, lat.Hop(s.rng))
-				s.eng.After(post+ret, func() {
+				s.eng.Defer(post+ret, func() {
 					s.markTraining(ss, task, s.now(), false)
 					_ = h.Release(holder)
 					s.finishTask(ss, submit, submit.Add(delay).Sub(submit), task.Duration, post)
 				})
 			})
 		})
+		return true
 	}
-	attempt()
+	if !attempt() {
+		s.waitq.Wait(attempt)
+	}
 }
 
 // runNbosTask: the full NotebookOS path: immediate commit on a replica
 // host when possible, otherwise migration (warm container when available)
-// and resubmission.
-func (s *sim) runNbosTask(ss *simSession, task trace.Task, submit time.Time, migrationDelay time.Duration) {
+// and resubmission. A task that can neither commit nor migrate parks on
+// the capacity wait-queue until a Release/AddHost notification.
+func (s *sim) runNbosTask(ss *simSession, task trace.Task, submit time.Time) {
+	if s.tryNbosTask(ss, task, submit) {
+		return
+	}
+	s.waitq.Wait(func() bool { return s.tryNbosTask(ss, task, submit) })
+}
+
+// tryNbosTask attempts one commit-or-migrate step and reports whether it
+// made progress (committed the task or scheduled a migration).
+func (s *sim) tryNbosTask(ss *simSession, task trace.Task, submit time.Time) bool {
 	lat := s.cfg.Latencies
 	req := s.taskReq(ss, task)
-	holder := fmt.Sprintf("nbos/%s/%d", ss.src.ID, submit.UnixNano())
+	migrationDelay := s.now().Sub(submit)
 
 	// Prefer the previous executor's host (the paper reuses the same
 	// executor for 89.45% of consecutive executions).
@@ -507,13 +568,12 @@ func (s *sim) runNbosTask(ss *simSession, task trace.Task, submit time.Time, mig
 		}
 	}
 	if executor == 0 {
-		s.migrateAndRetry(ss, task, submit, holder)
-		return
+		return s.tryMigrate(ss, task, submit)
 	}
 	h := ss.hosts[executor-1]
+	holder := holderKey("nbos", ss.src.ID, submit.UnixNano())
 	if err := h.Commit(holder, req); err != nil {
-		s.migrateAndRetry(ss, task, submit, holder)
-		return
+		return s.tryMigrate(ss, task, submit)
 	}
 	if migrationDelay == 0 {
 		s.res.ImmediateCommits++
@@ -530,9 +590,9 @@ func (s *sim) runNbosTask(ss *simSession, task trace.Task, submit time.Time, mig
 	hops := lat.Hop(s.rng) + lat.Hop(s.rng)
 	delay := migrationDelay + step1 + step5 + step6 + step7 + hops
 
-	s.eng.At(submit.Add(delay), func() {
+	s.eng.Schedule(submit.Add(delay), func() {
 		s.markTraining(ss, task, s.now(), true)
-		s.eng.After(task.Duration, func() {
+		s.eng.Defer(task.Duration, func() {
 			s.sampleStep(StepExec, task.Duration)
 			// State replication is off the critical path (§3.2.4): the
 			// reply returns after the GPU offload only.
@@ -542,68 +602,64 @@ func (s *sim) runNbosTask(ss *simSession, task trace.Task, submit time.Time, mig
 			// Record the async replication costs for Fig. 11.
 			s.res.SyncLatency.Add(lat.Sync(s.rng).Seconds())
 			s.res.WriteLatency.Add(lat.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng).Seconds())
-			s.eng.After(off+ret, func() {
+			s.eng.Defer(off+ret, func() {
 				s.markTraining(ss, task, s.now(), false)
 				_ = h.Release(holder)
 				s.finishTask(ss, submit, delay, task.Duration, off)
 			})
 		})
 	})
+	return true
 }
 
-// migrateAndRetry handles the all-YIELD path (§3.2.3): find a target with
-// idle resources (scaling out if necessary), pay warm/cold container plus
-// checkpoint-restore costs, swap the replica, and resubmit.
-func (s *sim) migrateAndRetry(ss *simSession, task trace.Task, submit time.Time, holder string) {
+// tryMigrate handles the all-YIELD path (§3.2.3): find a target with idle
+// resources, pay warm/cold container plus checkpoint-restore costs, swap
+// the replica, and resubmit. When no target exists it triggers a scale-out
+// (at most one in flight) and reports false so the caller parks on the
+// wait-queue until new capacity arrives.
+func (s *sim) tryMigrate(ss *simSession, task trace.Task, submit time.Time) bool {
 	lat := s.cfg.Latencies
 	req := s.taskReq(ss, task)
 
 	// The failed election itself costs one election round.
 	electionCost := lat.Election(s.rng)
 
-	hosting := map[string]bool{}
-	for _, h := range ss.hosts {
-		hosting[h.ID] = true
-	}
-	var target *cluster.Host
+	var target *simHost
 	bestIdle := -1
-	for _, h := range s.cluster.Hosts() {
-		if hosting[h.ID] || !h.CanCommit(req) {
+	for _, sh := range s.hostList {
+		h := sh.h
+		if hostsContain(ss.hosts, h) || !h.CanCommit(req) {
 			continue
 		}
 		if idle := h.IdleGPUs(); idle > bestIdle {
 			bestIdle = idle
-			target = h
+			target = sh
 		}
 	}
-	var extra time.Duration
 	if target == nil {
-		// Scale out and retry once the server is up.
+		// Scale out; the AddHost notification wakes the wait-queue.
 		if s.pendingHosts == 0 {
 			s.pendingHosts++
 			s.res.ScaleOuts++
 			s.recordEvent(scheduler.EventScaleOut)
 			provision := lat.HostProvision(s.rng)
-			s.eng.After(provision, func() {
+			s.eng.Defer(provision, func() {
 				s.addHost()
 				s.pendingHosts--
 			})
 		}
-		retry := 30 * time.Second
-		s.eng.After(retry, func() {
-			s.runNbosTask(ss, task, submit, s.now().Sub(submit))
-		})
-		return
+		return false
 	}
 
+	var extra time.Duration
 	// Container: pre-warmed if the target has pool capacity, else cold.
-	if s.warmPool[target.ID] > 0 {
-		s.warmPool[target.ID]--
+	if target.warm > 0 {
+		target.warm--
 		s.res.WarmStarts++
 		extra += lat.WarmAttach(s.rng)
 		// Pool replenishes in the background.
-		tid := target.ID
-		s.eng.After(lat.ColdStart(s.rng), func() { s.warmPool[tid]++ })
+		tsh := target
+		s.eng.Defer(lat.ColdStart(s.rng), func() { tsh.warm++ })
 	} else {
 		s.res.ColdStarts++
 		extra += lat.ColdStart(s.rng)
@@ -625,57 +681,67 @@ func (s *sim) migrateAndRetry(ss *simSession, task trace.Task, submit time.Time,
 		}
 	}
 	oldHost := ss.hosts[victim]
-	key := fmt.Sprintf("%s/r%d", ss.src.ID, victim+1)
+	key := ss.replicaKeyFor(victim + 1)
 	_ = oldHost.RemoveReplica(key)
-	_ = target.PlaceReplica(key, ss.req)
-	ss.hosts[victim] = target
+	_ = target.h.PlaceReplica(key, ss.req)
+	ss.hosts[victim] = target.h
 	ss.lastExecutor = victim + 1
 	s.res.Migrations++
 	s.recordEvent(scheduler.EventMigration)
 	s.sampleSR()
 
-	s.eng.After(extra, func() {
-		s.runNbosTask(ss, task, submit, s.now().Sub(submit))
+	s.eng.Defer(extra, func() {
+		s.runNbosTask(ss, task, submit)
 	})
+	return true
+}
+
+// hostsContain reports whether h is one of the session's replica hosts
+// (len <= R, so a linear scan beats building a set).
+func hostsContain(hosts []*cluster.Host, h *cluster.Host) bool {
+	for _, x := range hosts {
+		if x == h {
+			return true
+		}
+	}
+	return false
 }
 
 // runLCPTask: take a warm container from the pool (or cold start), warm
 // it up by downloading model + dataset (on the critical path, which is
 // what stretches LCP's TCT in Fig. 9b), execute, return the container.
+// Saturation parks the task on the capacity wait-queue.
 func (s *sim) runLCPTask(ss *simSession, task trace.Task, submit time.Time) {
 	lat := s.cfg.Latencies
 	req := s.taskReq(ss, task)
-	holder := fmt.Sprintf("lcp/%s/%d", ss.src.ID, submit.UnixNano())
+	holder := holderKey("lcp", ss.src.ID, submit.UnixNano())
 
-	var attempt func()
-	attempt = func() {
-		var target *cluster.Host
+	attempt := func() bool {
+		var target *simHost
 		warm := false
 		// Prefer hosts with both idle GPUs and a warm container.
-		for _, h := range s.cluster.Hosts() {
-			if !h.CanCommit(req) {
+		for _, sh := range s.hostList {
+			if !sh.h.CanCommit(req) {
 				continue
 			}
-			if s.warmPool[h.ID] > 0 {
-				target = h
+			if sh.warm > 0 {
+				target = sh
 				warm = true
 				break
 			}
 			if target == nil {
-				target = h
+				target = sh
 			}
 		}
 		if target == nil {
-			s.eng.After(15*time.Second, attempt)
-			return
+			return false
 		}
-		if err := target.Commit(holder, req); err != nil {
-			s.eng.After(15*time.Second, attempt)
-			return
+		if err := target.h.Commit(holder, req); err != nil {
+			return false
 		}
 		var start time.Duration
 		if warm {
-			s.warmPool[target.ID]--
+			target.warm--
 			s.res.WarmStarts++
 			start = lat.WarmAttach(s.rng)
 		} else {
@@ -692,25 +758,28 @@ func (s *sim) runLCPTask(ss *simSession, task trace.Task, submit time.Time) {
 		step7 := s.sampleStep(StepIntermed, lat.Transfer.LoadTime(ss.assig.Model.ParamBytes, task.GPUs))
 		delay := step1 + step5 + step7
 
-		s.eng.After(delay, func() {
+		s.eng.Defer(delay, func() {
 			s.markTraining(ss, task, s.now(), true)
-			s.eng.After(task.Duration, func() {
+			s.eng.Defer(task.Duration, func() {
 				s.sampleStep(StepExec, task.Duration)
 				post := lat.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng)
 				s.res.WriteLatency.Add(post.Seconds())
 				s.sampleStep(StepPostProc, post)
 				ret := s.sampleStep(StepReturn, lat.Hop(s.rng))
-				s.eng.After(post+ret, func() {
+				s.eng.Defer(post+ret, func() {
 					s.markTraining(ss, task, s.now(), false)
-					_ = target.Release(holder)
+					_ = target.h.Release(holder)
 					// Return the container to the pool (LCP keeps it warm).
-					s.warmPool[target.ID]++
+					target.warm++
 					s.finishTask(ss, submit, submit.Add(delay).Sub(submit), task.Duration, post)
 				})
 			})
 		})
+		return true
 	}
-	attempt()
+	if !attempt() {
+		s.waitq.Wait(attempt)
+	}
 }
 
 func (s *sim) markTraining(ss *simSession, task trace.Task, at time.Time, start bool) {
@@ -726,16 +795,16 @@ func (s *sim) markTraining(ss *simSession, task trace.Task, at time.Time, start 
 
 // hostWithIdle returns a host that can commit req right now (most idle
 // first), or nil.
-func (s *sim) hostWithIdle(req resources.Spec) *cluster.Host {
-	var best *cluster.Host
+func (s *sim) hostWithIdle(req resources.Spec) *simHost {
+	var best *simHost
 	bestIdle := -1
-	for _, h := range s.cluster.Hosts() {
-		if !h.CanCommit(req) {
+	for _, sh := range s.hostList {
+		if !sh.h.CanCommit(req) {
 			continue
 		}
-		if idle := h.IdleGPUs(); idle > bestIdle {
+		if idle := sh.h.IdleGPUs(); idle > bestIdle {
 			bestIdle = idle
-			best = h
+			best = sh
 		}
 	}
 	return best
@@ -752,10 +821,10 @@ func (s *sim) scheduleSampling() {
 	tick = func() {
 		s.sampleProvisioned()
 		if s.now().Before(s.cfg.Trace.End) {
-			s.eng.After(s.cfg.SampleEvery, tick)
+			s.eng.Defer(s.cfg.SampleEvery, tick)
 		}
 	}
-	s.eng.After(0, tick)
+	s.eng.Defer(0, tick)
 }
 
 // sampleProvisioned records the provisioned-GPU series whose meaning is
@@ -778,10 +847,10 @@ func (s *sim) scheduleAutoscale() {
 	tick = func() {
 		s.autoscaleOnce()
 		if s.now().Before(s.cfg.Trace.End) {
-			s.eng.After(s.cfg.AutoscaleInterval, tick)
+			s.eng.Defer(s.cfg.AutoscaleInterval, tick)
 		}
 	}
-	s.eng.After(s.cfg.AutoscaleInterval, tick)
+	s.eng.Defer(s.cfg.AutoscaleInterval, tick)
 }
 
 func (s *sim) autoscaleOnce() {
@@ -802,7 +871,7 @@ func (s *sim) autoscaleOnce() {
 		s.res.ScaleOuts++
 		s.recordEvent(scheduler.EventScaleOut)
 		provision := s.cfg.Latencies.HostProvision(s.rng)
-		s.eng.After(provision, func() {
+		s.eng.Defer(provision, func() {
 			for i := 0; i < need; i++ {
 				s.addHost()
 			}
@@ -815,18 +884,24 @@ func (s *sim) autoscaleOnce() {
 	// committed) while above the floor.
 	if float64(total)-float64(gpusPerHost) > expected && s.cluster.NumHosts() > s.cfg.MinHosts {
 		released := 0
-		for _, h := range s.cluster.Hosts() {
+		for i := 0; i < len(s.hostList); {
 			if released >= 2 || s.cluster.NumHosts() <= s.cfg.MinHosts {
 				break
 			}
-			if h.NumReplicas() == 0 && h.Committed().IsZero() {
-				if err := s.cluster.RemoveHost(h.ID); err == nil {
-					delete(s.warmPool, h.ID)
+			sh := s.hostList[i]
+			removed := false
+			if sh.h.NumReplicas() == 0 && sh.h.Committed().IsZero() {
+				if err := s.cluster.RemoveHost(sh.h.ID); err == nil {
+					s.hostList = append(s.hostList[:i], s.hostList[i+1:]...)
 					released++
+					removed = true
 				}
 			}
 			if float64(s.cluster.TotalGPUs())-float64(gpusPerHost) <= expected {
 				break
+			}
+			if !removed {
+				i++
 			}
 		}
 		if released > 0 {

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"notebookos/internal/des"
+)
+
+// A capWaiter retries an acquisition attempt when cluster capacity may
+// have freed up. It returns true once it has made progress (committed
+// resources or scheduled follow-up work) and should leave the queue, and
+// false to keep waiting for the next capacity notification.
+type capWaiter func() bool
+
+// capacityWaitQueue replaces the simulator's former 15s/30s polling retry
+// loops: tasks that cannot commit GPUs park here and are woken by the
+// cluster's capacity notifier (host Release or AddHost), so a saturated
+// cluster costs O(waiters) events per capacity transition instead of
+// O(waiters × wait-time / poll-interval).
+//
+// Determinism: waiters retry in FIFO arrival order, and the drain runs as
+// a single DES event scheduled at the notification timestamp (ordered by
+// the engine's sequence number), so a fixed seed replays bit-for-bit.
+type capacityWaitQueue struct {
+	eng       *des.Engine
+	q         []capWaiter
+	scheduled bool
+}
+
+func newCapacityWaitQueue(eng *des.Engine) *capacityWaitQueue {
+	return &capacityWaitQueue{eng: eng}
+}
+
+// Len returns the number of parked waiters.
+func (w *capacityWaitQueue) Len() int { return len(w.q) }
+
+// Wait parks fn until the next capacity notification.
+func (w *capacityWaitQueue) Wait(fn capWaiter) {
+	w.q = append(w.q, fn)
+}
+
+// Notify schedules a drain at the current virtual time. Multiple
+// notifications within one event coalesce into a single drain, and a
+// notification with no waiters is free — so there are no lost wakeups
+// (every capacity-freeing transition after a Wait triggers a drain) and
+// no thundering herds.
+func (w *capacityWaitQueue) Notify() {
+	if w.scheduled || len(w.q) == 0 {
+		return
+	}
+	w.scheduled = true
+	w.eng.Defer(0, w.drain)
+}
+
+// drain retries every parked waiter once, in FIFO arrival order. Waiters
+// that still cannot make progress stay queued, ahead of any waiters that
+// arrived during the drain.
+func (w *capacityWaitQueue) drain() {
+	w.scheduled = false
+	pending := w.q
+	w.q = nil
+	var kept []capWaiter
+	for _, fn := range pending {
+		if !fn() {
+			kept = append(kept, fn)
+		}
+	}
+	if len(kept) > 0 {
+		// Waiters enqueued while draining (w.q) arrived later than the
+		// kept ones; preserve FIFO order across the splice.
+		w.q = append(kept, w.q...)
+	}
+}

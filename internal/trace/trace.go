@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"notebookos/internal/metrics"
@@ -66,6 +67,15 @@ type Trace struct {
 	Start, End  time.Time
 	Granularity time.Duration
 	Sessions    []*Session
+
+	// Derived timelines are immutable once built (a Trace is read-only
+	// after generation), so they are computed at most once per trace and
+	// shared — including across the parallel experiment harness's
+	// goroutines. sync.Once makes the laziness race-free.
+	reservedOnce sync.Once
+	reservedTL   *metrics.Timeline
+	utilizedOnce sync.Once
+	utilizedTL   *metrics.Timeline
 }
 
 // NumTasks returns the total number of tasks across all sessions.
@@ -154,45 +164,53 @@ func (tr *Trace) ActiveTasks() *metrics.Timeline {
 
 // ReservedGPUs returns the timeline of GPUs reserved by live sessions —
 // what the Reservation baseline provisions (Fig. 2(d), "Reserved GPUs").
+// The timeline is built once and cached; callers must not mutate it.
 func (tr *Trace) ReservedGPUs() *metrics.Timeline {
-	type ev struct {
-		t time.Time
-		d float64
-	}
-	var evs []ev
-	for _, s := range tr.Sessions {
-		g := float64(s.Request.GPUs)
-		evs = append(evs, ev{s.Start, g}, ev{s.End, -g})
-	}
-	sort.Slice(evs, func(i, j int) bool { return evs[i].t.Before(evs[j].t) })
-	tl := metrics.NewTimeline()
-	for _, e := range evs {
-		tl.Delta(e.t, e.d)
-	}
-	return tl
+	tr.reservedOnce.Do(func() {
+		type ev struct {
+			t time.Time
+			d float64
+		}
+		evs := make([]ev, 0, 2*len(tr.Sessions))
+		for _, s := range tr.Sessions {
+			g := float64(s.Request.GPUs)
+			evs = append(evs, ev{s.Start, g}, ev{s.End, -g})
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].t.Before(evs[j].t) })
+		tl := metrics.NewTimeline()
+		for _, e := range evs {
+			tl.Delta(e.t, e.d)
+		}
+		tr.reservedTL = tl
+	})
+	return tr.reservedTL
 }
 
 // UtilizedGPUs returns the timeline of GPUs actively used by executing
 // tasks (Fig. 2(d), "Utilized GPUs"; also the Fig. 8 "oracle": the exact
-// number of GPUs required to serve training requests).
+// number of GPUs required to serve training requests). The timeline is
+// built once and cached; callers must not mutate it.
 func (tr *Trace) UtilizedGPUs() *metrics.Timeline {
-	type ev struct {
-		t time.Time
-		d float64
-	}
-	var evs []ev
-	for _, s := range tr.Sessions {
-		for _, t := range s.Tasks {
-			g := float64(t.GPUs)
-			evs = append(evs, ev{t.Submit, g}, ev{t.End(), -g})
+	tr.utilizedOnce.Do(func() {
+		type ev struct {
+			t time.Time
+			d float64
 		}
-	}
-	sort.Slice(evs, func(i, j int) bool { return evs[i].t.Before(evs[j].t) })
-	tl := metrics.NewTimeline()
-	for _, e := range evs {
-		tl.Delta(e.t, e.d)
-	}
-	return tl
+		var evs []ev
+		for _, s := range tr.Sessions {
+			for _, t := range s.Tasks {
+				g := float64(t.GPUs)
+				evs = append(evs, ev{t.Submit, g}, ev{t.End(), -g})
+			}
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].t.Before(evs[j].t) })
+		tl := metrics.NewTimeline()
+		for _, e := range evs {
+			tl.Delta(e.t, e.d)
+		}
+		tr.utilizedTL = tl
+	})
+	return tr.utilizedTL
 }
 
 // UtilizationCDF returns the cluster GPU-utilization sample (solid series of
