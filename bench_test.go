@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"notebookos/internal/experiments"
+	"notebookos/internal/federation"
 	"notebookos/internal/platform"
 	"notebookos/internal/resources"
 	"notebookos/internal/sim"
@@ -124,6 +125,37 @@ func BenchmarkAblationSRLimit(b *testing.B)           { runExperiment(b, "ablati
 func BenchmarkAblationScaleFactor(b *testing.B)       { runExperiment(b, "ablation-f") }
 func BenchmarkAblationPrewarm(b *testing.B)           { runExperiment(b, "ablation-prewarm") }
 
+func BenchmarkFederationClusterSweep(b *testing.B)  { runExperiment(b, "fed-scale") }
+func BenchmarkFederationPenaltySweep(b *testing.B)  { runExperiment(b, "fed-penalty") }
+func BenchmarkFederationPolicyCompare(b *testing.B) { runExperiment(b, "fed-policy") }
+func BenchmarkFederationFamily(b *testing.B)        { runExperiment(b, "federation") }
+
+// BenchmarkFederationSim measures one federated simulation (4 clusters,
+// least-subscribed routing) and reports the federation-wide GPU-hours
+// saved and the remote-execution share.
+func BenchmarkFederationSim(b *testing.B) {
+	cfg := trace.AdobeExcerptConfig(42)
+	cfg.Duration = 4 * time.Hour
+	tr := trace.MustGenerate(cfg)
+	var res *sim.FedResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = sim.RunFederated(sim.FedConfig{
+			Trace:    tr,
+			Clusters: sim.DefaultFedClusters(4, 30),
+			Route:    federation.LeastSubscribed{},
+			Seed:     42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.GPUHoursSaved(), "GPUh-saved")
+	if res.Tasks > 0 {
+		b.ReportMetric(float64(res.RemoteExecutions)/float64(res.Tasks)*100, "remote-exec-%")
+	}
+}
+
 // BenchmarkExecutorElection measures the live LEAD/VOTE election + cell
 // execution round trip on a real 3-replica kernel (paper: "typically tens
 // of milliseconds").
@@ -196,6 +228,8 @@ func TestBenchCoversAllExperiments(t *testing.T) {
 		"fig16": true, "fig17": true, "fig18": true, "fig19": true,
 		"fig20": true, "ablation-replicas": true, "ablation-sr": true,
 		"ablation-f": true, "ablation-prewarm": true,
+		"federation": true, "fed-scale": true, "fed-penalty": true,
+		"fed-policy": true,
 	}
 	for _, e := range experiments.All() {
 		if !covered[e.ID] {

@@ -23,6 +23,7 @@ import (
 	"testing"
 	"time"
 
+	"notebookos/internal/federation"
 	"notebookos/internal/sim"
 	"notebookos/internal/trace"
 )
@@ -122,6 +123,31 @@ func main() {
 			wg.Wait()
 		}
 	}))
+
+	// Federation: a 4-cluster federated run (least-subscribed routing),
+	// covering the multi-cluster subsystem's hot path.
+	var fed map[string]float64
+	rep.Scenarios = append(rep.Scenarios, record("federation-4-clusters", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		var res *sim.FedResult
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = sim.RunFederated(sim.FedConfig{
+				Trace:    tr,
+				Clusters: sim.DefaultFedClusters(4, 30),
+				Route:    federation.LeastSubscribed{},
+				Seed:     42,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		fed = map[string]float64{
+			"gpuh_saved":       res.GPUHoursSaved(),
+			"cross_migrations": float64(res.CrossMigrations),
+		}
+	}))
+	rep.Scenarios[len(rep.Scenarios)-1].Metrics = fed
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -5,6 +5,7 @@
 //
 //	nbos-sim -list
 //	nbos-sim -exp fig8 [-seed 42] [-quick]
+//	nbos-sim -exp federation            # multi-cluster scenario family
 //	nbos-sim -exp all [-jobs 8]
 package main
 

@@ -1,10 +1,3 @@
-// Package des implements a deterministic discrete-event simulation engine.
-// The simulator in internal/sim uses it to replay multi-day IDLT workloads
-// (paper §5.5 simulates the full 90-day trace) in milliseconds of wall time.
-//
-// An Engine is single-threaded by design: events execute in (time, sequence)
-// order on the caller's goroutine, which makes simulations reproducible
-// bit-for-bit for a fixed seed.
 package des
 
 import (

@@ -1,0 +1,24 @@
+// Package des implements a deterministic discrete-event simulation engine.
+// The simulator in internal/sim uses it to replay multi-day IDLT workloads
+// (paper §5.5 simulates the full 90-day trace) in milliseconds of wall time.
+//
+// An Engine is single-threaded by design: events execute in (time, sequence)
+// order on the caller's goroutine, which makes simulations reproducible
+// bit-for-bit for a fixed seed.
+//
+// Determinism rules every client must follow:
+//
+//   - All randomness is drawn from seeded rand.Rand instances owned by the
+//     simulation, never from global or time-derived sources.
+//   - Events scheduled for the same virtual instant run in Schedule/Defer
+//     call order (the engine breaks time ties by a monotonically increasing
+//     sequence number), so scheduling order is part of the contract.
+//   - Event handlers must not depend on host-map iteration order, wall-clock
+//     time, or goroutine interleaving; one Engine is never shared between
+//     goroutines.
+//
+// Internally the ready queue is a hand-rolled 4-ary heap keyed by an
+// int64-nanosecond (time, sequence) pair; Cancel reaps via a maintained
+// heap index, and no-handle Schedule/Defer recycle event allocations from
+// a pool.
+package des

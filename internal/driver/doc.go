@@ -1,0 +1,8 @@
+// Package driver is the workload driver of the paper's evaluation
+// (§5.1.2): it replays an IDLT trace against a *live* platform deployment,
+// creating a session (and its distributed kernel) per trace session,
+// submitting one training cell per trace task with the model/dataset
+// assignment drawn from the Table 1 catalog, and collecting task
+// completion times and errors. Trace time is compressed so multi-hour
+// excerpts replay in seconds of wall time.
+package driver

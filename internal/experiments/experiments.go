@@ -1,8 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (§5) plus the ablations DESIGN.md calls out. Each experiment
-// renders the same rows/series the paper plots, as text, so results can be
-// compared against the published curves. EXPERIMENTS.md records the
-// paper-vs-measured comparison.
 package experiments
 
 import (
@@ -67,6 +62,10 @@ func All() []Experiment {
 		{"ablation-sr", "Ablation: SR high watermark", AblationSR},
 		{"ablation-f", "Ablation: autoscaler factor f", AblationScaleFactor},
 		{"ablation-prewarm", "Ablation: pre-warm pool size", AblationPrewarm},
+		{"federation", "Federation: full multi-cluster scenario family", Federation},
+		{"fed-scale", "Federation: cluster count sweep 1-8", FederationScale},
+		{"fed-penalty", "Federation: inter-cluster penalty sweep", FederationPenalty},
+		{"fed-policy", "Federation: route policy comparison", FederationPolicy},
 	}
 }
 

@@ -1,0 +1,172 @@
+package federation
+
+import (
+	"fmt"
+	"sync"
+
+	"notebookos/internal/resources"
+	"notebookos/internal/scheduler"
+)
+
+// Deployment is the federated scheduling tier above the live platform's
+// Global Schedulers: one scheduler.GlobalScheduler per member cluster, a
+// route policy that decides which cluster a new kernel lands on, and a
+// kernel-to-owner routing table so Execute and StopKernel reach the right
+// cluster. It is the live-platform analogue of the simulator's federated
+// placement path.
+type Deployment struct {
+	fed    *Federation
+	policy RoutePolicy
+
+	mu      sync.Mutex
+	globals []*scheduler.GlobalScheduler
+	owners  map[string]int // kernelID -> member index
+}
+
+// NewDeployment returns an empty federated deployment routing with policy
+// (LocalFirst when nil) over fed's members.
+func NewDeployment(fed *Federation, policy RoutePolicy) *Deployment {
+	if policy == nil {
+		policy = LocalFirst{}
+	}
+	return &Deployment{fed: fed, policy: policy, owners: map[string]int{}}
+}
+
+// AddCluster registers the Global Scheduler serving the member with the
+// same index. Clusters must be added in member-index order, mirroring
+// Federation.AddMember.
+func (d *Deployment) AddCluster(gs *scheduler.GlobalScheduler) (int, error) {
+	if gs == nil {
+		return 0, fmt.Errorf("federation: nil global scheduler")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	idx := len(d.globals)
+	if idx >= d.fed.NumMembers() {
+		return 0, fmt.Errorf("federation: %d schedulers for %d members", idx+1, d.fed.NumMembers())
+	}
+	d.globals = append(d.globals, gs)
+	return idx, nil
+}
+
+// Global returns the member cluster's Global Scheduler.
+func (d *Deployment) Global(member int) (*scheduler.GlobalScheduler, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if member < 0 || member >= len(d.globals) {
+		return nil, false
+	}
+	return d.globals[member], true
+}
+
+// pendingOwner marks a kernel ID reserved by an in-flight StartKernel so
+// concurrent duplicate starts are rejected rather than racing.
+const pendingOwner = -1
+
+// StartKernel creates a distributed kernel for a session homed at member
+// home, trying clusters in route-policy order until one can place and
+// start it. It returns the member index that owns the kernel.
+func (d *Deployment) StartKernel(home int, kernelID, session string, req resources.Spec) (int, error) {
+	d.mu.Lock()
+	if _, ok := d.owners[kernelID]; ok {
+		d.mu.Unlock()
+		return 0, fmt.Errorf("federation: kernel %s already started", kernelID)
+	}
+	n := len(d.globals)
+	if n == 0 {
+		d.mu.Unlock()
+		return 0, fmt.Errorf("federation: no clusters")
+	}
+	// Reserve the ID before releasing the lock so a concurrent duplicate
+	// StartKernel cannot also start (and then orphan) a kernel.
+	d.owners[kernelID] = pendingOwner
+	d.mu.Unlock()
+
+	var firstErr error
+	for _, idx := range d.policy.Order(d.fed, home) {
+		gs, ok := d.Global(idx)
+		if !ok {
+			continue
+		}
+		if err := gs.StartKernel(kernelID, session, req); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		d.mu.Lock()
+		d.owners[kernelID] = idx
+		d.mu.Unlock()
+		return idx, nil
+	}
+	d.mu.Lock()
+	delete(d.owners, kernelID)
+	d.mu.Unlock()
+	if firstErr == nil {
+		firstErr = fmt.Errorf("federation: no viable cluster for kernel %s", kernelID)
+	}
+	return 0, firstErr
+}
+
+// Owner returns the member index owning a kernel. A kernel whose start is
+// still in flight is not yet owned.
+func (d *Deployment) Owner(kernelID string) (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	idx, ok := d.owners[kernelID]
+	if !ok || idx == pendingOwner {
+		return 0, false
+	}
+	return idx, true
+}
+
+// Execute routes a cell execution to the kernel's owning cluster.
+func (d *Deployment) Execute(kernelID, code string) (term uint64, msgID string, err error) {
+	gs, err := d.owning(kernelID)
+	if err != nil {
+		return 0, "", err
+	}
+	return gs.Execute(kernelID, code)
+}
+
+// StopKernel terminates a kernel on its owning cluster. The routing entry
+// is forgotten only once the stop succeeds, so a failed stop can be
+// retried rather than orphaning the kernel.
+func (d *Deployment) StopKernel(kernelID string) error {
+	gs, err := d.owning(kernelID)
+	if err != nil {
+		return err
+	}
+	if err := gs.StopKernel(kernelID); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	delete(d.owners, kernelID)
+	d.mu.Unlock()
+	return nil
+}
+
+// owning resolves a kernel's Global Scheduler.
+func (d *Deployment) owning(kernelID string) (*scheduler.GlobalScheduler, error) {
+	d.mu.Lock()
+	idx, ok := d.owners[kernelID]
+	var gs *scheduler.GlobalScheduler
+	if ok && idx >= 0 && idx < len(d.globals) {
+		gs = d.globals[idx]
+	}
+	d.mu.Unlock()
+	if gs == nil {
+		return nil, fmt.Errorf("federation: unknown kernel %s", kernelID)
+	}
+	return gs, nil
+}
+
+// Stop shuts down every member cluster's Global Scheduler.
+func (d *Deployment) Stop() {
+	d.mu.Lock()
+	globals := append([]*scheduler.GlobalScheduler(nil), d.globals...)
+	d.mu.Unlock()
+	for _, gs := range globals {
+		gs.Stop()
+	}
+}

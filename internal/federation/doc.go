@@ -1,0 +1,33 @@
+// Package federation models a federation of independent GPU clusters and
+// the scheduling tier that routes work between them. The paper evaluates
+// NotebookOS against a single cluster, but its core mechanism — replicated
+// kernels whose idle-reclaimed GPUs can be re-committed wherever capacity
+// exists — extends naturally to several clusters (regions, zones, or
+// clouds) fronted by one control plane.
+//
+// A Federation owns N member cluster.Cluster instances, each with its own
+// hosts, sizes, and GPU shapes (heterogeneity is expected). It adds:
+//
+//   - Federation-wide aggregate accounting. TotalGPUs, SubscribedGPUs, and
+//     CommittedGPUs sum the members' O(1) atomic counters, so reads stay
+//     O(members) with no host scans — the same invariant internal/cluster
+//     maintains per cluster (counters always equal a from-scratch recount).
+//   - Capacity-notification fan-in. Every member's capacity notifier
+//     (host Release or AddHost) forwards to the federation's single
+//     notifier, so a capacity wait-queue parked on a saturated federation
+//     is woken when *any* member frees capacity — the property the
+//     federated simulator's wait-queue relies on.
+//   - A symmetric inter-cluster latency penalty (Penalty), the knob the
+//     latency-aware route policy and the federated simulator charge for
+//     crossing cluster boundaries.
+//
+// RoutePolicy implementations (LocalFirst, LeastSubscribed, LatencyAware)
+// rank member clusters for a placement originating at a session's home
+// cluster; ranking is deterministic (ties break toward the home cluster,
+// then by member index) so federated simulations replay bit-for-bit.
+//
+// Deployment is the federated tier above scheduler.GlobalScheduler for the
+// live platform half: it owns one Global Scheduler per member, starts each
+// kernel on the first cluster its route policy can place it on, and routes
+// Execute/StopKernel to the owning cluster.
+package federation

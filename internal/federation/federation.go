@@ -1,0 +1,185 @@
+package federation
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"notebookos/internal/cluster"
+)
+
+// Member is one cluster of a federation.
+type Member struct {
+	// Index is the member's position in the federation (0-based); route
+	// policies use it for deterministic tie-breaking.
+	Index int
+	// Name identifies the cluster in experiment output ("us-west", ...).
+	Name string
+	// Cluster is the member's host inventory and SR accounting.
+	Cluster *cluster.Cluster
+}
+
+// Federation is a set of member clusters sharing one scheduling tier.
+type Federation struct {
+	mu      sync.Mutex
+	members []*Member
+	// penalty is the symmetric inter-cluster latency penalty (zero within
+	// a cluster).
+	penalty time.Duration
+	// notifier receives the fan-in of every member's capacity notifier.
+	notifier func()
+}
+
+// New returns an empty federation with the given inter-cluster penalty.
+func New(interClusterPenalty time.Duration) *Federation {
+	return &Federation{penalty: interClusterPenalty}
+}
+
+// AddMember adds a cluster to the federation and wires its capacity
+// notifier into the federation's fan-in. The member's previous notifier,
+// if any, is replaced. Must be called before the federation is shared
+// between goroutines.
+func (f *Federation) AddMember(name string, c *cluster.Cluster) (*Member, error) {
+	if c == nil {
+		return nil, fmt.Errorf("federation: nil cluster %q", name)
+	}
+	f.mu.Lock()
+	for _, m := range f.members {
+		if m.Name == name {
+			f.mu.Unlock()
+			return nil, fmt.Errorf("federation: member %q already present", name)
+		}
+	}
+	m := &Member{Index: len(f.members), Name: name, Cluster: c}
+	f.members = append(f.members, m)
+	f.mu.Unlock()
+	c.SetCapacityNotifier(f.capacityFreed)
+	return m, nil
+}
+
+// capacityFreed forwards any member's capacity-freeing transition to the
+// federation-level notifier.
+func (f *Federation) capacityFreed() {
+	f.mu.Lock()
+	fn := f.notifier
+	f.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// SetCapacityNotifier registers fn to run whenever any member cluster
+// frees capacity (a host Release or AddHost in that cluster). The
+// federated simulator points this at its capacity wait-queue, so work
+// blocked on a saturated cluster wakes when any cluster frees capacity.
+func (f *Federation) SetCapacityNotifier(fn func()) {
+	f.mu.Lock()
+	f.notifier = fn
+	f.mu.Unlock()
+}
+
+// Members returns the member list in index order. The returned slice is a
+// copy; the *Member values are shared.
+func (f *Federation) Members() []*Member {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Member(nil), f.members...)
+}
+
+// Member returns the member at index i.
+func (f *Federation) Member(i int) (*Member, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if i < 0 || i >= len(f.members) {
+		return nil, false
+	}
+	return f.members[i], true
+}
+
+// NumMembers returns the number of member clusters.
+func (f *Federation) NumMembers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.members)
+}
+
+// Penalty returns the inter-cluster latency penalty between members i and
+// j: zero when i == j, the configured symmetric penalty otherwise.
+func (f *Federation) Penalty(i, j int) time.Duration {
+	if i == j {
+		return 0
+	}
+	return f.penalty
+}
+
+// TotalGPUs returns the federation-wide GPU capacity: the sum of the
+// members' O(1) counters, so the read is O(members) with no host scans.
+func (f *Federation) TotalGPUs() int {
+	f.mu.Lock()
+	members := f.members
+	f.mu.Unlock()
+	n := 0
+	for _, m := range members {
+		n += m.Cluster.TotalGPUs()
+	}
+	return n
+}
+
+// SubscribedGPUs returns the federation-wide subscribed GPU count.
+func (f *Federation) SubscribedGPUs() int {
+	f.mu.Lock()
+	members := f.members
+	f.mu.Unlock()
+	n := 0
+	for _, m := range members {
+		n += m.Cluster.SubscribedGPUs()
+	}
+	return n
+}
+
+// CommittedGPUs returns the federation-wide actively-committed GPU count.
+func (f *Federation) CommittedGPUs() int {
+	f.mu.Lock()
+	members := f.members
+	f.mu.Unlock()
+	n := 0
+	for _, m := range members {
+		n += m.Cluster.CommittedGPUs()
+	}
+	return n
+}
+
+// NumHosts returns the federation-wide host count.
+func (f *Federation) NumHosts() int {
+	f.mu.Lock()
+	members := f.members
+	f.mu.Unlock()
+	n := 0
+	for _, m := range members {
+		n += m.Cluster.NumHosts()
+	}
+	return n
+}
+
+// SR returns the federation-wide subscription ratio, computed the same way
+// as a single cluster's dynamic SR limit: sum(S) / (sum(G) * R), with R
+// taken from the first member (members share a replication factor).
+func (f *Federation) SR() float64 {
+	f.mu.Lock()
+	members := f.members
+	f.mu.Unlock()
+	if len(members) == 0 {
+		return 0
+	}
+	g := 0
+	s := 0
+	for _, m := range members {
+		g += m.Cluster.TotalGPUs()
+		s += m.Cluster.SubscribedGPUs()
+	}
+	r := members[0].Cluster.ReplicasPerKernel()
+	if g == 0 || r == 0 {
+		return 0
+	}
+	return float64(s) / float64(g*r)
+}

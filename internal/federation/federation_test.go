@@ -1,0 +1,234 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"notebookos/internal/cluster"
+	"notebookos/internal/resources"
+	"notebookos/internal/scheduler"
+)
+
+func gpuReq(n int) resources.Spec {
+	return resources.Spec{Millicpus: int64(n) * 4000, MemoryMB: int64(n) * 32 * 1024, GPUs: n, VRAMGB: float64(n) * 16}
+}
+
+func newCluster(t *testing.T, name string, hosts int) *cluster.Cluster {
+	t.Helper()
+	c := cluster.New(3)
+	for i := 0; i < hosts; i++ {
+		if err := c.AddHost(cluster.NewHost(fmt.Sprintf("%s-h%02d", name, i+1), resources.P316xlarge())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func newFed(t *testing.T, penalty time.Duration, sizes ...int) *Federation {
+	t.Helper()
+	f := New(penalty)
+	for i, n := range sizes {
+		name := fmt.Sprintf("c%d", i)
+		if _, err := f.AddMember(name, newCluster(t, name, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestFederationAggregatesSumMembers(t *testing.T) {
+	f := newFed(t, 25*time.Millisecond, 3, 2)
+	if got := f.TotalGPUs(); got != 5*8 {
+		t.Errorf("TotalGPUs = %d, want 40", got)
+	}
+	if got := f.NumHosts(); got != 5 {
+		t.Errorf("NumHosts = %d, want 5", got)
+	}
+	m0, _ := f.Member(0)
+	h := m0.Cluster.Hosts()[0]
+	if err := h.PlaceReplica("k/r1", gpuReq(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Commit("k/r1/t1", gpuReq(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.SubscribedGPUs(); got != 2 {
+		t.Errorf("SubscribedGPUs = %d, want 2", got)
+	}
+	if got := f.CommittedGPUs(); got != 2 {
+		t.Errorf("CommittedGPUs = %d, want 2", got)
+	}
+	want := float64(2) / float64(40*3)
+	if got := f.SR(); got != want {
+		t.Errorf("SR = %v, want %v", got, want)
+	}
+}
+
+func TestFederationDuplicateMemberRejected(t *testing.T) {
+	f := newFed(t, 0, 1)
+	if _, err := f.AddMember("c0", newCluster(t, "dup", 1)); err == nil {
+		t.Fatal("duplicate member name accepted")
+	}
+}
+
+// TestCapacityNotifierFanIn pins the wait-queue wakeup property: a Release
+// in ANY member cluster must fire the federation-level notifier.
+func TestCapacityNotifierFanIn(t *testing.T) {
+	f := newFed(t, 0, 1, 1)
+	fired := 0
+	f.SetCapacityNotifier(func() { fired++ })
+
+	m1, _ := f.Member(1)
+	h := m1.Cluster.Hosts()[0]
+	if err := h.Commit("x", gpuReq(1)); err != nil {
+		t.Fatal(err)
+	}
+	before := fired
+	if err := h.Release("x"); err != nil {
+		t.Fatal(err)
+	}
+	if fired != before+1 {
+		t.Errorf("release in member 1 fired notifier %d times, want 1", fired-before)
+	}
+	// AddHost is also a capacity-freeing transition.
+	before = fired
+	if err := m1.Cluster.AddHost(cluster.NewHost("c1-extra", resources.P316xlarge())); err != nil {
+		t.Fatal(err)
+	}
+	if fired != before+1 {
+		t.Errorf("AddHost fired notifier %d times, want 1", fired-before)
+	}
+}
+
+func TestPenaltyZeroWithinCluster(t *testing.T) {
+	f := newFed(t, 40*time.Millisecond, 1, 1)
+	if p := f.Penalty(0, 0); p != 0 {
+		t.Errorf("intra-cluster penalty = %v", p)
+	}
+	if p := f.Penalty(0, 1); p != 40*time.Millisecond {
+		t.Errorf("inter-cluster penalty = %v", p)
+	}
+}
+
+func TestLocalFirstOrder(t *testing.T) {
+	f := newFed(t, 0, 1, 1, 1)
+	got := LocalFirst{}.Order(f, 1)
+	want := []int{1, 0, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Order(home=1) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLeastSubscribedPrefersIdleCluster(t *testing.T) {
+	f := newFed(t, 0, 1, 1)
+	// Subscribe heavily on member 0 so member 1 has the lower SR.
+	m0, _ := f.Member(0)
+	h := m0.Cluster.Hosts()[0]
+	if err := h.PlaceReplica("k/r1", gpuReq(8)); err != nil {
+		t.Fatal(err)
+	}
+	got := LeastSubscribed{}.Order(f, 0)
+	if got[0] != 1 {
+		t.Errorf("Order(home=0) = %v, want member 1 first", got)
+	}
+	// Equal SRs tie-break toward home.
+	f2 := newFed(t, 0, 1, 1)
+	if got := (LeastSubscribed{}).Order(f2, 1); got[0] != 1 {
+		t.Errorf("tie Order(home=1) = %v, want home first", got)
+	}
+}
+
+// TestLatencyAwareTradesLoadAgainstPenalty: a lightly loaded remote
+// cluster wins only when its SR advantage beats the weighted penalty.
+func TestLatencyAwareTradesLoadAgainstPenalty(t *testing.T) {
+	build := func(penalty time.Duration) *Federation {
+		f := newFed(t, penalty, 1, 1)
+		m0, _ := f.Member(0)
+		// Home SR = 8/(8*3) = 1/3; remote SR = 0.
+		if err := m0.Cluster.Hosts()[0].PlaceReplica("k/r1", gpuReq(8)); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	// Small penalty (10 ms × weight 5 = 0.05 SR points < 1/3): remote wins.
+	f := build(10 * time.Millisecond)
+	if got := (LatencyAware{}).Order(f, 0); got[0] != 1 {
+		t.Errorf("cheap penalty: Order = %v, want remote first", got)
+	}
+	// Huge penalty (200 ms × 5 = 1.0 SR point > 1/3): home wins.
+	f = build(200 * time.Millisecond)
+	if got := (LatencyAware{}).Order(f, 0); got[0] != 0 {
+		t.Errorf("expensive penalty: Order = %v, want home first", got)
+	}
+}
+
+// TestDeploymentRoutesAcrossGlobalSchedulers exercises the live federated
+// tier: two single-host clusters with real Global Schedulers; once the
+// first cluster's host is filled by one kernel's replicas, the next
+// kernel must land on the second cluster, and Execute must route to it.
+func TestDeploymentRoutesAcrossGlobalSchedulers(t *testing.T) {
+	f := New(25 * time.Millisecond)
+	d := NewDeployment(f, LocalFirst{})
+	clusters := make([]*cluster.Cluster, 2)
+	for i := range clusters {
+		name := fmt.Sprintf("c%d", i)
+		// Single host per cluster; R=1 so one kernel fully subscribes it
+		// under a tight watermark.
+		c := cluster.New(1)
+		if err := c.AddHost(cluster.NewHost(name+"-h01", resources.P316xlarge())); err != nil {
+			t.Fatal(err)
+		}
+		clusters[i] = c
+		if _, err := f.AddMember(name, c); err != nil {
+			t.Fatal(err)
+		}
+		gs, err := scheduler.New(scheduler.Config{
+			Cluster: c,
+			Policy:  scheduler.LeastLoaded{SRHighWatermark: 1.0},
+			Seed:    int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.AddCluster(gs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer d.Stop()
+
+	// First kernel fills cluster 0 (8 GPUs subscribed = SR 1.0 at R=1).
+	owner, err := d.StartKernel(0, "k1", "sess1", gpuReq(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != 0 {
+		t.Fatalf("k1 owner = %d, want 0", owner)
+	}
+	// Second kernel homed at 0 cannot fit there; must spill to cluster 1.
+	owner, err = d.StartKernel(0, "k2", "sess2", gpuReq(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != 1 {
+		t.Fatalf("k2 owner = %d, want 1 (spill)", owner)
+	}
+	if got, ok := d.Owner("k2"); !ok || got != 1 {
+		t.Fatalf("Owner(k2) = %d,%v", got, ok)
+	}
+	// Execute routes to the owning cluster's scheduler without error.
+	if _, _, err := d.Execute("k2", "x = 1\n"); err != nil {
+		t.Fatalf("Execute via federation: %v", err)
+	}
+	if err := d.StopKernel("k2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Owner("k2"); ok {
+		t.Fatal("k2 still routed after StopKernel")
+	}
+	if _, _, err := d.Execute("k2", "x"); err == nil {
+		t.Fatal("Execute on stopped kernel succeeded")
+	}
+}

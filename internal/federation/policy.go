@@ -1,0 +1,123 @@
+package federation
+
+import "sort"
+
+// RoutePolicy ranks member clusters for a placement (session creation,
+// task re-commit, or replica migration) originating at a session's home
+// cluster. Order must be deterministic for a given federation state:
+// federated simulations replay bit-for-bit only if cluster ranking does.
+type RoutePolicy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Order returns every member index in preference order for work homed
+	// at member home. Callers try members in this order and skip those
+	// that cannot serve the request.
+	Order(f *Federation, home int) []int
+}
+
+// LocalFirst routes to the home cluster first and only spills to other
+// clusters (in index order) when the home cluster cannot serve — the
+// conservative default that minimizes cross-cluster traffic.
+type LocalFirst struct{}
+
+// Name implements RoutePolicy.
+func (LocalFirst) Name() string { return "local-first" }
+
+// Order implements RoutePolicy.
+func (LocalFirst) Order(f *Federation, home int) []int {
+	n := f.NumMembers()
+	out := make([]int, 0, n)
+	if home >= 0 && home < n {
+		out = append(out, home)
+	}
+	for i := 0; i < n; i++ {
+		if i != home {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// LeastSubscribed routes to the member with the lowest subscription ratio,
+// ignoring locality — a pure load-balancing policy. Ties prefer the home
+// cluster, then the lower member index.
+type LeastSubscribed struct{}
+
+// Name implements RoutePolicy.
+func (LeastSubscribed) Name() string { return "least-subscribed" }
+
+// Order implements RoutePolicy.
+func (LeastSubscribed) Order(f *Federation, home int) []int {
+	return orderByScore(f, home, func(m *Member) float64 {
+		return clusterSR(m)
+	})
+}
+
+// LatencyAware trades load balance against the inter-cluster penalty: a
+// remote cluster is preferred only when its subscription ratio undercuts
+// the home cluster's by more than the penalty is worth. The score is
+//
+//	SR(cluster) + Weight × Penalty(home, cluster)/second
+//
+// so with the default weight, a 100 ms penalty costs 0.5 SR points —
+// remote clusters need substantially more headroom to win.
+type LatencyAware struct {
+	// Weight converts one second of inter-cluster penalty into
+	// subscription-ratio points. Zero or negative selects
+	// DefaultLatencyWeight; to ignore latency entirely use
+	// LeastSubscribed instead (it is exactly the Weight→0 limit).
+	Weight float64
+}
+
+// DefaultLatencyWeight is LatencyAware's default SR-points-per-second.
+const DefaultLatencyWeight = 5.0
+
+// Name implements RoutePolicy.
+func (LatencyAware) Name() string { return "latency-aware" }
+
+// Order implements RoutePolicy.
+func (p LatencyAware) Order(f *Federation, home int) []int {
+	w := p.Weight
+	if w <= 0 {
+		w = DefaultLatencyWeight
+	}
+	return orderByScore(f, home, func(m *Member) float64 {
+		return clusterSR(m) + w*f.Penalty(home, m.Index).Seconds()
+	})
+}
+
+// clusterSR is a member's current subscription ratio (sum of subscribed
+// GPUs over G×R), the load signal the balancing policies rank on.
+func clusterSR(m *Member) float64 {
+	g := m.Cluster.TotalGPUs()
+	r := m.Cluster.ReplicasPerKernel()
+	if g == 0 || r == 0 {
+		return 0
+	}
+	return float64(m.Cluster.SubscribedGPUs()) / float64(g*r)
+}
+
+// orderByScore sorts member indexes by ascending score with deterministic
+// tie-breaking: home first, then lower index.
+func orderByScore(f *Federation, home int, score func(*Member) float64) []int {
+	members := f.Members()
+	vals := make([]float64, len(members))
+	for i, m := range members {
+		vals[i] = score(m)
+	}
+	out := make([]int, len(members))
+	for i := range out {
+		out[i] = i
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		i, j := out[a], out[b]
+		if vals[i] != vals[j] {
+			return vals[i] < vals[j]
+		}
+		if (i == home) != (j == home) {
+			return i == home
+		}
+		return i < j
+	})
+	return out
+}

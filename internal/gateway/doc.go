@@ -1,0 +1,14 @@
+// Package gateway is NotebookOS's HTTP front door: the Jupyter-Server
+// role of the architecture (paper Fig. 3, step 1). Clients create
+// sessions, submit cell executions, stream replies, and inspect cluster
+// state over a REST + Server-Sent-Events API (stdlib-only stand-in for
+// Jupyter's HTTP/WebSocket endpoints).
+//
+//	POST   /api/sessions                 {"user": ..., "gpus": n}    -> session
+//	GET    /api/sessions                                              -> sessions
+//	DELETE /api/sessions/{id}                                         -> 204
+//	POST   /api/sessions/{id}/execute    {"code": ..., "timeout_ms"}  -> reply
+//	GET    /api/sessions/{id}/events     (text/event-stream)          -> replies
+//	GET    /api/cluster                                               -> status
+//	GET    /healthz                                                   -> ok
+package gateway

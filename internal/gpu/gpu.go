@@ -1,9 +1,3 @@
-// Package gpu models per-server GPU devices and NotebookOS's dynamic GPU
-// binding (paper §3.3): all of a server's GPUs are visible to every hosted
-// replica container, but device IDs are exclusively allocated to one
-// replica only while a cell task executes. It also models the host<->VRAM
-// transfer cost paid when model parameters are loaded onto the allocated
-// devices ("typically only takes up to a couple hundred milliseconds").
 package gpu
 
 import (

@@ -1,11 +1,3 @@
-// Package kernel implements NotebookOS's Distributed Kernel (paper §3.2):
-// a logical Jupyter kernel realized as R Raft-replicated replicas spread
-// across GPU servers. It provides the executor election protocol
-// (LEAD/YIELD proposals and VOTE confirmation, Fig. 5), AST-based state
-// synchronization of small globals through the Raft log (Fig. 6),
-// large-object checkpointing to the distributed data store with pointer
-// entries, failed-election reporting (the trigger for replica migration),
-// and replica replacement via Raft membership changes.
 package kernel
 
 import (

@@ -1,0 +1,16 @@
+// Package metrics provides the measurement primitives used throughout the
+// evaluation: latency/duration samples with percentiles and CDFs, step
+// timelines with time integrals (GPU-hours), and the provider billing model
+// from the paper's simulation study (§5.5.1).
+//
+// A Timeline is a right-continuous step function with non-decreasing
+// timestamps; Integral is linear, so MergeTimelines (the pointwise sum of
+// several timelines, used to combine per-cluster series into
+// federation-wide ones) preserves the invariant
+//
+//	merged.Integral(a, b) == Σ tl.Integral(a, b)
+//
+// up to floating-point rounding. This is what lets federation-wide
+// GPU-hour accounting be computed either from the merged series or from
+// the per-cluster ones interchangeably.
+package metrics

@@ -1,0 +1,54 @@
+package metrics
+
+import "sort"
+
+// MergeTimelines returns the pointwise sum of the given step functions:
+// the merged value at any instant equals the sum of the inputs' values at
+// that instant. It is how per-cluster series (committed GPUs, provisioned
+// GPUs) combine into federation-wide ones.
+//
+// Because integration is linear, the merged timeline's Integral over any
+// window equals the sum of the inputs' Integrals over that window (up to
+// floating-point rounding) — the property the federated metrics tests pin.
+func MergeTimelines(tls ...*Timeline) *Timeline {
+	out := NewTimeline()
+	// Gather every breakpoint across the inputs.
+	total := 0
+	for _, tl := range tls {
+		if tl != nil {
+			total += len(tl.times)
+		}
+	}
+	if total == 0 {
+		return out
+	}
+	type point struct {
+		idx int // which timeline
+		pos int // which point within it
+	}
+	pts := make([]point, 0, total)
+	for i, tl := range tls {
+		if tl == nil {
+			continue
+		}
+		for j := range tl.times {
+			pts = append(pts, point{i, j})
+		}
+	}
+	// Sort breakpoints by time; ties keep input order, which is irrelevant
+	// to the result because coincident points collapse into one Set below.
+	sort.SliceStable(pts, func(a, b int) bool {
+		return tls[pts[a].idx].times[pts[a].pos].Before(tls[pts[b].idx].times[pts[b].pos])
+	})
+	// Sweep: track each input's current value; at every breakpoint emit
+	// the sum. Timeline.Set collapses same-timestamp writes.
+	cur := make([]float64, len(tls))
+	sum := 0.0
+	for _, p := range pts {
+		tl := tls[p.idx]
+		sum += tl.values[p.pos] - cur[p.idx]
+		cur[p.idx] = tl.values[p.pos]
+		out.Set(tl.times[p.pos], sum)
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestMergeTimelinesPointwiseSum(t *testing.T) {
+	t0 := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	a := NewTimeline()
+	a.Set(t0, 2)
+	a.Set(t0.Add(10*time.Minute), 5)
+	a.Set(t0.Add(30*time.Minute), 0)
+	b := NewTimeline()
+	b.Set(t0.Add(5*time.Minute), 3)
+	b.Set(t0.Add(10*time.Minute), 7) // coincides with a's second point
+	c := NewTimeline()               // empty input must be harmless
+
+	m := MergeTimelines(a, b, c, nil)
+	checks := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 2},                 // a=2 b=0
+		{5 * time.Minute, 5},   // a=2 b=3
+		{10 * time.Minute, 12}, // a=5 b=7
+		{20 * time.Minute, 12},
+		{30 * time.Minute, 7}, // a=0 b=7
+	}
+	for _, ck := range checks {
+		if got := m.At(t0.Add(ck.at)); got != ck.want {
+			t.Errorf("merged.At(+%v) = %v, want %v", ck.at, got, ck.want)
+		}
+	}
+}
+
+func TestMergeTimelinesIntegralIsSumOfIntegrals(t *testing.T) {
+	t0 := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	end := t0.Add(6 * time.Hour)
+	// Deterministic pseudo-random step functions.
+	mk := func(seed int64, points int) *Timeline {
+		tl := NewTimeline()
+		s := uint64(seed)*0x9E3779B97F4A7C15 + 1
+		at := t0
+		for i := 0; i < points; i++ {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			at = at.Add(time.Duration(s%1800+1) * time.Second)
+			tl.Set(at, float64(s%64))
+		}
+		return tl
+	}
+	tls := []*Timeline{mk(1, 40), mk(2, 25), mk(3, 60), mk(4, 1)}
+	m := MergeTimelines(tls...)
+	var sum float64
+	for _, tl := range tls {
+		sum += tl.Integral(t0, end)
+	}
+	got := m.Integral(t0, end)
+	if math.Abs(got-sum) > 1e-9*math.Max(math.Abs(got), math.Abs(sum)) {
+		t.Errorf("merged integral %v != sum of integrals %v", got, sum)
+	}
+}
+
+func TestMergeTimelinesEmpty(t *testing.T) {
+	if m := MergeTimelines(); m.Len() != 0 {
+		t.Errorf("merge of nothing has %d points", m.Len())
+	}
+	if m := MergeTimelines(NewTimeline(), nil); m.Len() != 0 {
+		t.Errorf("merge of empties has %d points", m.Len())
+	}
+}

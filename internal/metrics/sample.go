@@ -1,7 +1,3 @@
-// Package metrics provides the measurement primitives used throughout the
-// evaluation: latency/duration samples with percentiles and CDFs, step
-// timelines with time integrals (GPU-hours), and the provider billing model
-// from the paper's simulation study (§5.5.1).
 package metrics
 
 import (

@@ -1,7 +1,3 @@
-// Package platform is the composition root of the live NotebookOS stack:
-// it wires the cluster model, Global and Local Schedulers, distributed
-// kernels, the data store, and the notebook runtime into one process, and
-// exposes the session-level API the gateway (and the examples) use.
 package platform
 
 import (

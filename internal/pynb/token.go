@@ -1,14 +1,3 @@
-// Package pynb implements a small Python-like notebook language: lexer,
-// parser, AST, interpreter, and the AST analysis NotebookOS uses for kernel
-// state replication (paper §3.2.4). The real system analyzes Python ASTs to
-// find globals mutated by a cell so they can be synchronized to standby
-// replicas via Raft; pynb reproduces that mechanism end to end for cell
-// code written in its Python subset.
-//
-// Supported syntax: assignments (including augmented and indexed),
-// expression statements, if/elif/else, for-in loops with range() or list
-// iterables, arithmetic/comparison/boolean operators, calls with keyword
-// arguments, attribute access, list and index expressions, and comments.
 package pynb
 
 import "fmt"

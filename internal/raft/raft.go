@@ -1,14 +1,3 @@
-// Package raft implements the Raft consensus protocol (Ongaro &
-// Ousterhout, ATC '14) used by NotebookOS distributed kernels for state
-// machine replication (paper §3.2.2). It provides leader election with
-// randomized timeouts, log replication, commitment, proposal forwarding,
-// snapshot install/compaction, and single-server membership changes (used
-// when a kernel replica is migrated to another GPU server, §3.2.3).
-//
-// A Node is driven by three inputs: Step (an incoming message from a
-// peer), Tick (the passage of one logical clock tick), and Propose /
-// ProposeConfChange (client requests). Committed entries are delivered in
-// order to the configured Apply callback on a dedicated applier goroutine.
 package raft
 
 import (

@@ -1,8 +1,3 @@
-// Package resources defines the resource vectors NotebookOS schedules:
-// CPU (in millicpus), host memory (in megabytes), GPUs, and GPU memory
-// (VRAM, in gigabytes). It mirrors the resource-request argument of the
-// paper's StartKernelReplica RPC (§3.2.1) and provides the arithmetic the
-// schedulers use for capacity checks and subscription-ratio accounting.
 package resources
 
 import (

@@ -1,0 +1,7 @@
+// Package scheduler implements NotebookOS's resource scheduling layer
+// (paper §3.4): pluggable kernel replica placement policies with the
+// least-loaded default, subscription-ratio accounting with the dynamic
+// cluster-wide SR limit, the Global Scheduler (kernel creation, routing,
+// executor designation, migration, auto-scaling) and the per-server Local
+// Scheduler (container provisioning, dynamic GPU binding).
+package scheduler

@@ -1,0 +1,30 @@
+// Package sim is the discrete-event simulator of the paper's §5.5: it
+// replays IDLT traces (the 17.5-hour excerpt and the 90-day summer trace)
+// against the four scheduling policies — Reservation, Batch (FCFS),
+// NotebookOS, and NotebookOS (LCP) — using the same cluster model and
+// placement code as the live platform, with protocol latencies drawn from
+// models calibrated against the live implementation and the paper's
+// reported distributions.
+//
+// Two entry points exist: Run simulates one policy against one cluster,
+// and RunFederated simulates the NotebookOS policy against a federation
+// of independently sized clusters (see internal/federation), routing
+// session placement and cross-cluster replica migration under a pluggable
+// federation route policy with a configurable inter-cluster latency
+// penalty.
+//
+// Invariants:
+//
+//   - Determinism: a fixed Config (including Seed) replays bit-for-bit,
+//     regardless of goroutine scheduling in the surrounding experiment
+//     harness. All randomness comes from rand.Rand instances seeded only
+//     by the config; tasks blocked on capacity park on a FIFO wait-queue
+//     drained as a single DES event (see capacityWaitQueue), never on
+//     polling timers; and nothing iterates Go maps on result-affecting
+//     paths. Double-run equality is enforced by determinism tests for
+//     both Run and RunFederated.
+//   - Saturation costs O(waiters) events: the cluster's capacity notifier
+//     (Release/AddHost) wakes the wait-queue; there are no retry polls.
+//   - Traces are read-only: a *trace.Trace may be shared by any number of
+//     concurrent simulations.
+package sim

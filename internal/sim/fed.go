@@ -1,0 +1,770 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"notebookos/internal/cluster"
+	"notebookos/internal/des"
+	"notebookos/internal/federation"
+	"notebookos/internal/metrics"
+	"notebookos/internal/resources"
+	"notebookos/internal/scheduler"
+	"notebookos/internal/trace"
+	"notebookos/internal/workload"
+)
+
+// FedClusterSpec sizes one member cluster of a federated simulation.
+// Members may differ in host count and host shape (heterogeneous
+// federations are the expected case).
+type FedClusterSpec struct {
+	// Name labels the cluster in results ("c0", "us-west", ...).
+	Name string
+	// Hosts is the initial server count.
+	Hosts int
+	// HostCapacity is the per-server shape (defaults to p3.16xlarge).
+	HostCapacity resources.Spec
+	// MinHosts floors scale-in. It defaults to max(Hosts/4, R), capped at
+	// Hosts: scale-in must never leave the cluster unable to host one
+	// kernel's R replicas, or it becomes permanently unplaceable.
+	MinHosts int
+}
+
+// DefaultFedClusters splits a total host budget across n clusters with
+// deliberately heterogeneous sizes (a descending ramp: the first cluster
+// is the largest), all p3.16xlarge-shaped. Every cluster gets at least
+// one host; subject to that floor the total host count is exactly
+// max(totalHosts, n) for every n, so cluster-count sweeps compare equal
+// capacity.
+func DefaultFedClusters(n, totalHosts int) []FedClusterSpec {
+	if n <= 0 {
+		n = 1
+	}
+	if totalHosts < n {
+		totalHosts = n
+	}
+	weightSum := n * (n + 1) / 2
+	specs := make([]FedClusterSpec, n)
+	assigned := 0
+	for i := 0; i < n; i++ {
+		h := totalHosts * (n - i) / weightSum
+		if h < 1 {
+			h = 1
+		}
+		specs[i] = FedClusterSpec{Name: fmt.Sprintf("c%d", i), Hosts: h}
+		assigned += h
+	}
+	// Hand any rounding shortfall to the largest cluster. If clamping
+	// overshot the budget and drove c0 below one host, rebalance from the
+	// other clusters, never taking any below one host.
+	specs[0].Hosts += totalHosts - assigned
+	for i := 1; i < n && specs[0].Hosts < 1; i++ {
+		if specs[i].Hosts > 1 {
+			take := specs[i].Hosts - 1
+			if need := 1 - specs[0].Hosts; take > need {
+				take = need
+			}
+			specs[i].Hosts -= take
+			specs[0].Hosts += take
+		}
+	}
+	if specs[0].Hosts < 1 {
+		specs[0].Hosts = 1
+	}
+	return specs
+}
+
+// NoInterClusterPenalty selects an explicitly free cluster crossing in
+// FedConfig.InterClusterPenalty (whose zero value means "default").
+const NoInterClusterPenalty time.Duration = -1
+
+// FedConfig parameterizes one federated simulation run. The simulated
+// policy is always NotebookOS (federation exists to re-commit
+// idle-reclaimed GPUs wherever capacity exists; the Reservation and Batch
+// baselines have nothing to route).
+type FedConfig struct {
+	// Trace is the shared arrival stream; sessions are assigned home
+	// clusters round-robin in trace order.
+	Trace *trace.Trace
+	// Clusters are the member clusters (default: two 15-host clusters).
+	Clusters []FedClusterSpec
+	// Route ranks clusters for placements and migrations (default
+	// federation.LocalFirst).
+	Route federation.RoutePolicy
+	// InterClusterPenalty is the one-way latency between any two distinct
+	// clusters (default 25 ms; pass NoInterClusterPenalty for an explicit
+	// zero — the zero value means "use the default", as elsewhere in this
+	// package's configs). Remote executions pay two crossings per
+	// request/reply; cross-cluster migrations pay two crossings for the
+	// checkpoint transfer.
+	InterClusterPenalty time.Duration
+	// ReplicasPerKernel is R (default 3). A session's replicas are placed
+	// within a single cluster at creation; migration may later move a
+	// replica to another cluster.
+	ReplicasPerKernel int
+	// PrewarmPerHost sizes each host's warm-container pool (default 1).
+	PrewarmPerHost int
+	// SRHighWatermark caps per-host subscription (default 3.0).
+	SRHighWatermark float64
+	// ScaleFactor is each member's autoscaler factor f (default 1.05).
+	ScaleFactor float64
+	// AutoscaleInterval is the per-member autoscaler period (default 60s).
+	AutoscaleInterval time.Duration
+	// Latencies are the protocol latency models.
+	Latencies Latencies
+	// Seed drives all randomness.
+	Seed int64
+	// SampleEvery is the metrics sampling period (default 5 min).
+	SampleEvery time.Duration
+}
+
+func (c *FedConfig) withDefaults() error {
+	if c.Trace == nil {
+		return fmt.Errorf("sim: federated config requires Trace")
+	}
+	if len(c.Clusters) == 0 {
+		c.Clusters = DefaultFedClusters(2, 30)
+	} else {
+		// Defaults are filled in place below; copy the slice so a caller's
+		// spec slice shared across (possibly concurrent) runs is never
+		// mutated.
+		c.Clusters = append([]FedClusterSpec(nil), c.Clusters...)
+	}
+	if c.ReplicasPerKernel <= 0 {
+		c.ReplicasPerKernel = 3
+	}
+	for i := range c.Clusters {
+		spec := &c.Clusters[i]
+		if spec.Name == "" {
+			spec.Name = fmt.Sprintf("c%d", i)
+		}
+		if spec.Hosts <= 0 {
+			spec.Hosts = 15
+		}
+		if spec.HostCapacity.IsZero() {
+			spec.HostCapacity = resources.P316xlarge()
+		}
+		if spec.MinHosts <= 0 {
+			// Scale-in must never leave a cluster unable to host one
+			// kernel's R replicas, or it becomes permanently unplaceable.
+			spec.MinHosts = spec.Hosts / 4
+			if spec.MinHosts < c.ReplicasPerKernel {
+				spec.MinHosts = c.ReplicasPerKernel
+			}
+			if spec.MinHosts > spec.Hosts {
+				spec.MinHosts = spec.Hosts
+			}
+		}
+	}
+	if c.Route == nil {
+		c.Route = federation.LocalFirst{}
+	}
+	if c.InterClusterPenalty < 0 {
+		c.InterClusterPenalty = 0
+	} else if c.InterClusterPenalty == 0 {
+		c.InterClusterPenalty = 25 * time.Millisecond
+	}
+	if c.PrewarmPerHost <= 0 {
+		c.PrewarmPerHost = 1
+	}
+	if c.SRHighWatermark <= 0 {
+		c.SRHighWatermark = scheduler.DefaultSRHighWatermark
+	}
+	if c.ScaleFactor <= 0 {
+		c.ScaleFactor = 1.05
+	}
+	if c.AutoscaleInterval <= 0 {
+		c.AutoscaleInterval = time.Minute
+	}
+	if c.Latencies.GSProcess == nil {
+		c.Latencies = DefaultLatencies()
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 5 * time.Minute
+	}
+	return nil
+}
+
+// FedClusterResult is one member cluster's share of a federated run.
+type FedClusterResult struct {
+	Name string
+	// ProvisionedGPUs and CommittedGPUs are this member's series; the
+	// federation-wide series in FedResult are their merge.
+	ProvisionedGPUs *metrics.Timeline
+	CommittedGPUs   *metrics.Timeline
+	// HomeSessions counts sessions homed at this cluster; PlacedSessions
+	// counts sessions whose kernel was created here (they differ when the
+	// route policy spills placements to other clusters).
+	HomeSessions   int
+	PlacedSessions int
+	// Tasks counts task executions that committed GPUs on this cluster.
+	Tasks int
+	// MigrationsIn counts replicas migrated onto this cluster.
+	MigrationsIn int
+	ScaleOuts    int
+	ScaleIns     int
+}
+
+// FedResult carries the outcome of a federated simulation: per-cluster
+// series plus federation-wide merges and counters.
+type FedResult struct {
+	Clusters []*FedClusterResult
+
+	// Merged federation-wide series (pointwise sums of the per-cluster
+	// series; Integral equals the sum of per-cluster Integrals).
+	ProvisionedGPUs *metrics.Timeline
+	CommittedGPUs   *metrics.Timeline
+	ActiveSessions  *metrics.Timeline
+
+	// Distributions.
+	Interactivity *metrics.Sample // seconds
+	TCT           *metrics.Sample // seconds
+
+	// Counters.
+	Tasks            int
+	ImmediateCommits int
+	LocalPlacements  int // sessions placed on their home cluster
+	RemotePlacements int // sessions spilled to another cluster
+	RemoteExecutions int // tasks executed on a non-home-cluster replica
+	Migrations       int
+	CrossMigrations  int // migrations that changed cluster
+	ScaleOuts        int
+	ScaleIns         int
+	ColdStarts       int
+	WarmStarts       int
+
+	// Integrated hours over the trace window.
+	ActiveGPUHours      float64
+	ProvisionedGPUHours float64
+	ReservedGPUHours    float64
+}
+
+// GPUHoursSaved returns the headline federation saving: reserved GPU-hours
+// (what the Reservation baseline would bind) minus provisioned GPU-hours.
+func (r *FedResult) GPUHoursSaved() float64 {
+	return r.ReservedGPUHours - r.ProvisionedGPUHours
+}
+
+// fedHost pairs a member host with its cluster index and warm-pool count.
+type fedHost struct {
+	h      *cluster.Host
+	member int
+	warm   int
+}
+
+// fedMember is one member cluster's mutable simulation state.
+type fedMember struct {
+	spec    FedClusterSpec
+	c       *cluster.Cluster
+	hosts   []*fedHost
+	res     *FedClusterResult
+	hostSeq int
+	// pendingHosts counts servers being provisioned for this member.
+	pendingHosts int
+}
+
+// fedSession is the per-session federated simulation state.
+type fedSession struct {
+	src   *trace.Session
+	req   resources.Spec
+	assig workload.Assignment
+	home  int
+
+	hosts        []*fedHost
+	rkeys        []string
+	lastExecutor int
+	queue        []trace.Task
+	running      bool
+	closed       bool
+}
+
+func (ss *fedSession) replicaKeyFor(i int) string {
+	for len(ss.rkeys) < i {
+		ss.rkeys = append(ss.rkeys, replicaKey(ss.src.ID, len(ss.rkeys)+1))
+	}
+	return ss.rkeys[i-1]
+}
+
+// fedSim is the mutable federated simulation state.
+type fedSim struct {
+	cfg       FedConfig
+	eng       *des.Engine
+	rng       *rand.Rand
+	fed       *federation.Federation
+	members   []*fedMember
+	placement scheduler.LeastLoaded
+	// byHost resolves the hosts returned by the placement policy back to
+	// their fedHost wrappers (warm counts, member index).
+	byHost map[*cluster.Host]*fedHost
+	// waitq parks tasks blocked on capacity anywhere in the federation;
+	// it is woken by any member's Release/AddHost via the federation's
+	// capacity-notification fan-in.
+	waitq *capacityWaitQueue
+	res   *FedResult
+}
+
+// RunFederated executes a federated simulation and returns its result.
+// Determinism matches Run: a fixed config replays bit-for-bit.
+func RunFederated(cfg FedConfig) (*FedResult, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	eng := des.New(cfg.Trace.Start)
+	s := &fedSim{
+		cfg:       cfg,
+		eng:       eng,
+		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
+		fed:       federation.New(cfg.InterClusterPenalty),
+		placement: scheduler.LeastLoaded{SRHighWatermark: cfg.SRHighWatermark},
+		byHost:    map[*cluster.Host]*fedHost{},
+		waitq:     newCapacityWaitQueue(eng),
+		res: &FedResult{
+			ActiveSessions: metrics.NewTimeline(),
+			Interactivity:  metrics.NewSample(),
+			TCT:            metrics.NewSample(),
+		},
+	}
+	for i, spec := range cfg.Clusters {
+		c := cluster.New(cfg.ReplicasPerKernel)
+		if _, err := s.fed.AddMember(spec.Name, c); err != nil {
+			return nil, err
+		}
+		m := &fedMember{
+			spec: spec,
+			c:    c,
+			res: &FedClusterResult{
+				Name:            spec.Name,
+				ProvisionedGPUs: metrics.NewTimeline(),
+				CommittedGPUs:   metrics.NewTimeline(),
+			},
+		}
+		s.members = append(s.members, m)
+		s.res.Clusters = append(s.res.Clusters, m.res)
+		for j := 0; j < spec.Hosts; j++ {
+			s.addHost(i)
+		}
+	}
+	// Any member's capacity-freeing transition wakes the shared queue.
+	s.fed.SetCapacityNotifier(s.waitq.Notify)
+
+	wr := rand.New(rand.NewSource(cfg.Seed + 2))
+	for i, sess := range cfg.Trace.Sessions {
+		sess := sess
+		ss := &fedSession{
+			src:   sess,
+			req:   sess.Request,
+			assig: workload.Assign(wr),
+			home:  i % len(s.members),
+		}
+		s.members[ss.home].res.HomeSessions++
+		s.eng.Schedule(sess.Start, func() { s.sessionStart(ss) })
+		s.eng.Schedule(sess.End, func() { s.sessionEnd(ss) })
+		for _, task := range sess.Tasks {
+			task := task
+			s.eng.Schedule(task.Submit, func() { s.taskArrive(ss, task) })
+		}
+	}
+
+	s.scheduleSampling()
+	s.scheduleAutoscale()
+	s.eng.RunUntil(cfg.Trace.End.Add(24 * time.Hour))
+	s.finalize()
+	return s.res, nil
+}
+
+func (s *fedSim) now() time.Time { return s.eng.Now() }
+
+func (s *fedSim) addHost(member int) *fedHost {
+	m := s.members[member]
+	m.hostSeq++
+	h := cluster.NewHost(fmt.Sprintf("%s-h%04d", m.spec.Name, m.hostSeq), m.spec.HostCapacity)
+	if err := m.c.AddHost(h); err != nil {
+		panic(err)
+	}
+	fh := &fedHost{h: h, member: member, warm: s.cfg.PrewarmPerHost}
+	m.hosts = append(m.hosts, fh)
+	s.byHost[h] = fh
+	return fh
+}
+
+// ---- session lifecycle -------------------------------------------------
+
+// placeSession places the session's R replicas within a single cluster,
+// trying clusters in route-policy order.
+func (s *fedSim) placeSession(ss *fedSession) bool {
+	for _, idx := range s.cfg.Route.Order(s.fed, ss.home) {
+		m := s.members[idx]
+		hosts, err := s.placement.SelectHosts(m.c, ss.req, s.cfg.ReplicasPerKernel)
+		if err != nil {
+			continue
+		}
+		ss.hosts = make([]*fedHost, len(hosts))
+		for i, h := range hosts {
+			_ = h.PlaceReplica(ss.replicaKeyFor(i+1), ss.req)
+			ss.hosts[i] = s.byHost[h]
+		}
+		m.res.PlacedSessions++
+		if idx == ss.home {
+			s.res.LocalPlacements++
+		} else {
+			s.res.RemotePlacements++
+		}
+		return true
+	}
+	return false
+}
+
+func (s *fedSim) sessionStart(ss *fedSession) {
+	s.res.ActiveSessions.Delta(s.now(), 1)
+	if s.placeSession(ss) {
+		return
+	}
+	// No cluster can place the kernel: scale out the home cluster
+	// synchronously (as in the single-cluster simulator, the provisioning
+	// delay is charged to session creation, not to any task).
+	for i := 0; i < s.cfg.ReplicasPerKernel; i++ {
+		s.addHost(ss.home)
+	}
+	s.res.ScaleOuts++
+	s.members[ss.home].res.ScaleOuts++
+	if !s.placeSession(ss) {
+		ss.hosts = nil // pathological request; drop the session
+	}
+}
+
+func (s *fedSim) sessionEnd(ss *fedSession) {
+	if ss.closed {
+		return
+	}
+	ss.closed = true
+	s.res.ActiveSessions.Delta(s.now(), -1)
+	for i, fh := range ss.hosts {
+		_ = fh.h.RemoveReplica(ss.replicaKeyFor(i + 1))
+	}
+}
+
+// ---- task pipeline -----------------------------------------------------
+
+func (s *fedSim) taskArrive(ss *fedSession, task trace.Task) {
+	if ss.running {
+		ss.queue = append(ss.queue, task)
+		return
+	}
+	ss.running = true
+	s.runTask(ss, task, s.now())
+}
+
+func (s *fedSim) runTask(ss *fedSession, task trace.Task, submit time.Time) {
+	if s.tryTask(ss, task, submit) {
+		return
+	}
+	s.waitq.Wait(func() bool { return s.tryTask(ss, task, submit) })
+}
+
+func (s *fedSim) finishTask(ss *fedSession, submit time.Time, interactivity time.Duration) {
+	s.res.Interactivity.Add(interactivity.Seconds())
+	s.res.TCT.Add(s.now().Sub(submit).Seconds())
+	s.res.Tasks++
+	ss.running = false
+	if len(ss.queue) > 0 {
+		next := ss.queue[0]
+		ss.queue = ss.queue[1:]
+		ss.running = true
+		s.runTask(ss, next, s.now())
+	}
+}
+
+func (s *fedSim) fedTaskReq(ss *fedSession, task trace.Task) resources.Spec {
+	return clampTaskReq(ss.req, task.GPUs)
+}
+
+// tryTask attempts one commit-or-migrate step (the NotebookOS task path
+// generalized across clusters) and reports whether it made progress.
+func (s *fedSim) tryTask(ss *fedSession, task trace.Task, submit time.Time) bool {
+	if len(ss.hosts) == 0 {
+		return true // dropped session: swallow its tasks
+	}
+	lat := s.cfg.Latencies
+	req := s.fedTaskReq(ss, task)
+	migrationDelay := s.now().Sub(submit)
+
+	executor := 0
+	if ss.lastExecutor > 0 && ss.lastExecutor <= len(ss.hosts) &&
+		ss.hosts[ss.lastExecutor-1].h.CanCommit(req) {
+		executor = ss.lastExecutor
+	}
+	if executor == 0 {
+		for i, fh := range ss.hosts {
+			if fh.h.CanCommit(req) {
+				executor = i + 1
+				break
+			}
+		}
+	}
+	if executor == 0 {
+		return s.tryFedMigrate(ss, task, submit)
+	}
+	fh := ss.hosts[executor-1]
+	holder := holderKey("fed", ss.src.ID, submit.UnixNano())
+	if err := fh.h.Commit(holder, req); err != nil {
+		return s.tryFedMigrate(ss, task, submit)
+	}
+	if migrationDelay == 0 {
+		s.res.ImmediateCommits++
+	}
+	ss.lastExecutor = executor
+	s.members[fh.member].res.Tasks++
+
+	// A replica living outside the session's home cluster serves requests
+	// across the federation boundary: request and reply each pay one
+	// inter-cluster crossing.
+	var wan time.Duration
+	if fh.member != ss.home {
+		wan = 2 * s.fed.Penalty(ss.home, fh.member)
+		s.res.RemoteExecutions++
+	}
+
+	delay := migrationDelay +
+		lat.GSProcess(s.rng) +
+		lat.PreProcess(s.rng) +
+		lat.Election(s.rng) +
+		lat.Transfer.LoadTime(ss.assig.Model.ParamBytes, task.GPUs) +
+		lat.Hop(s.rng) + lat.Hop(s.rng) +
+		wan
+
+	member := fh.member
+	s.eng.Schedule(submit.Add(delay), func() {
+		s.markTraining(member, task, true)
+		s.eng.Defer(task.Duration, func() {
+			off := lat.Transfer.OffloadTime(ss.assig.Model.ParamBytes)
+			ret := lat.Hop(s.rng)
+			s.eng.Defer(off+ret, func() {
+				s.markTraining(member, task, false)
+				_ = fh.h.Release(holder)
+				s.finishTask(ss, submit, delay)
+			})
+		})
+	})
+	return true
+}
+
+// tryFedMigrate handles the all-YIELD path across the federation: find a
+// target host anywhere (clusters in route-policy order, most-idle host
+// within the chosen cluster), pay container plus checkpoint-restore costs
+// — plus two inter-cluster crossings when the replica changes cluster —
+// swap the replica, and resubmit. With no target anywhere, one scale-out
+// of the home cluster is triggered and the caller parks on the shared
+// wait-queue until *any* cluster frees capacity.
+func (s *fedSim) tryFedMigrate(ss *fedSession, task trace.Task, submit time.Time) bool {
+	lat := s.cfg.Latencies
+	req := s.fedTaskReq(ss, task)
+
+	// The failed election itself costs one election round.
+	electionCost := lat.Election(s.rng)
+
+	var target *fedHost
+	for _, idx := range s.cfg.Route.Order(s.fed, ss.home) {
+		bestIdle := -1
+		for _, fh := range s.members[idx].hosts {
+			if fedHostsContain(ss.hosts, fh) || !fh.h.CanCommit(req) {
+				continue
+			}
+			if idle := fh.h.IdleGPUs(); idle > bestIdle {
+				bestIdle = idle
+				target = fh
+			}
+		}
+		if target != nil {
+			break
+		}
+	}
+	if target == nil {
+		// Scale out the home cluster; the AddHost notification wakes the
+		// shared wait-queue (as does a Release in any other cluster).
+		m := s.members[ss.home]
+		if m.pendingHosts == 0 {
+			m.pendingHosts++
+			s.res.ScaleOuts++
+			m.res.ScaleOuts++
+			provision := lat.HostProvision(s.rng)
+			s.eng.Defer(provision, func() {
+				s.addHost(ss.home)
+				m.pendingHosts--
+			})
+		}
+		return false
+	}
+
+	// Victim: the replica on the fullest host.
+	victim := 0
+	worst := math.MaxInt
+	for i, fh := range ss.hosts {
+		if idle := fh.h.IdleGPUs(); idle < worst {
+			worst = idle
+			victim = i
+		}
+	}
+	old := ss.hosts[victim]
+	cross := old.member != target.member
+
+	var extra time.Duration
+	if target.warm > 0 {
+		target.warm--
+		s.res.WarmStarts++
+		extra += lat.WarmAttach(s.rng)
+		tfh := target
+		s.eng.Defer(lat.ColdStart(s.rng), func() { tfh.warm++ })
+	} else {
+		s.res.ColdStarts++
+		extra += lat.ColdStart(s.rng)
+	}
+	// Persist + restore checkpointed state through the data store; a
+	// cross-cluster move pays the federation boundary in both directions.
+	wrLat := lat.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng)
+	rdLat := lat.Store.GetLatency(ss.assig.Model.ParamBytes, s.rng)
+	extra += wrLat + rdLat + electionCost
+	if cross {
+		extra += 2 * s.fed.Penalty(old.member, target.member)
+	}
+
+	key := ss.replicaKeyFor(victim + 1)
+	_ = old.h.RemoveReplica(key)
+	_ = target.h.PlaceReplica(key, ss.req)
+	ss.hosts[victim] = target
+	ss.lastExecutor = victim + 1
+	s.res.Migrations++
+	s.members[target.member].res.MigrationsIn++
+	if cross {
+		s.res.CrossMigrations++
+	}
+
+	s.eng.Defer(extra, func() {
+		s.runTask(ss, task, submit)
+	})
+	return true
+}
+
+// fedHostsContain reports whether fh is one of the session's replica hosts.
+func fedHostsContain(hosts []*fedHost, fh *fedHost) bool {
+	for _, x := range hosts {
+		if x == fh {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *fedSim) markTraining(member int, task trace.Task, start bool) {
+	g := float64(task.GPUs)
+	if !start {
+		g = -g
+	}
+	s.members[member].res.CommittedGPUs.Delta(s.now(), g)
+}
+
+// ---- periodic sampling & autoscaling ------------------------------------
+
+func (s *fedSim) scheduleSampling() {
+	var tick func()
+	tick = func() {
+		s.sampleProvisioned()
+		if s.now().Before(s.cfg.Trace.End) {
+			s.eng.Defer(s.cfg.SampleEvery, tick)
+		}
+	}
+	s.eng.Defer(0, tick)
+}
+
+func (s *fedSim) sampleProvisioned() {
+	at := s.now()
+	for _, m := range s.members {
+		m.res.ProvisionedGPUs.Set(at, float64(m.c.TotalGPUs()))
+	}
+}
+
+func (s *fedSim) scheduleAutoscale() {
+	var tick func()
+	tick = func() {
+		for i := range s.members {
+			s.autoscaleMember(i)
+		}
+		if s.now().Before(s.cfg.Trace.End) {
+			s.eng.Defer(s.cfg.AutoscaleInterval, tick)
+		}
+	}
+	s.eng.Defer(s.cfg.AutoscaleInterval, tick)
+}
+
+// autoscaleMember runs one member's autoscaler evaluation: each cluster
+// scales against its own committed load (federations do not pool
+// autoscaling decisions, only placements).
+func (s *fedSim) autoscaleMember(idx int) {
+	m := s.members[idx]
+	gpusPerHost := m.spec.HostCapacity.GPUs
+	expected := s.cfg.ScaleFactor * float64(m.c.CommittedGPUs())
+	total := m.c.TotalGPUs() + m.pendingHosts*gpusPerHost
+
+	if float64(total) < expected {
+		need := int(math.Ceil((expected - float64(total)) / float64(gpusPerHost)))
+		m.pendingHosts += need
+		s.res.ScaleOuts++
+		m.res.ScaleOuts++
+		provision := s.cfg.Latencies.HostProvision(s.rng)
+		s.eng.Defer(provision, func() {
+			for i := 0; i < need; i++ {
+				s.addHost(idx)
+			}
+			m.pendingHosts -= need
+			s.sampleProvisioned()
+		})
+		return
+	}
+	// Scale in: release up to 2 idle servers while above the floor.
+	if float64(total)-float64(gpusPerHost) > expected && m.c.NumHosts() > m.spec.MinHosts {
+		released := 0
+		for i := 0; i < len(m.hosts); {
+			if released >= 2 || m.c.NumHosts() <= m.spec.MinHosts {
+				break
+			}
+			fh := m.hosts[i]
+			removed := false
+			if fh.h.NumReplicas() == 0 && fh.h.Committed().IsZero() {
+				if err := m.c.RemoveHost(fh.h.ID); err == nil {
+					m.hosts = append(m.hosts[:i], m.hosts[i+1:]...)
+					delete(s.byHost, fh.h)
+					released++
+					removed = true
+				}
+			}
+			if float64(m.c.TotalGPUs())-float64(gpusPerHost) <= expected {
+				break
+			}
+			if !removed {
+				i++
+			}
+		}
+		if released > 0 {
+			s.res.ScaleIns++
+			m.res.ScaleIns++
+			s.sampleProvisioned()
+		}
+	}
+}
+
+// finalize merges the per-cluster series and computes integrated hours.
+func (s *fedSim) finalize() {
+	start, end := s.cfg.Trace.Start, s.cfg.Trace.End
+	prov := make([]*metrics.Timeline, len(s.members))
+	comm := make([]*metrics.Timeline, len(s.members))
+	for i, m := range s.members {
+		prov[i] = m.res.ProvisionedGPUs
+		comm[i] = m.res.CommittedGPUs
+	}
+	s.res.ProvisionedGPUs = metrics.MergeTimelines(prov...)
+	s.res.CommittedGPUs = metrics.MergeTimelines(comm...)
+	s.res.ActiveGPUHours = s.res.CommittedGPUs.Integral(start, end)
+	s.res.ProvisionedGPUHours = s.res.ProvisionedGPUs.Integral(start, end)
+	s.res.ReservedGPUHours = s.cfg.Trace.ReservedGPUs().Integral(start, end)
+}

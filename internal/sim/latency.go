@@ -1,10 +1,3 @@
-// Package sim is the discrete-event simulator of the paper's §5.5: it
-// replays IDLT traces (the 17.5-hour excerpt and the 90-day summer trace)
-// against the four scheduling policies — Reservation, Batch (FCFS),
-// NotebookOS, and NotebookOS (LCP) — using the same cluster model and
-// placement code as the live platform, with protocol latencies drawn from
-// models calibrated against the live implementation and the paper's
-// reported distributions.
 package sim
 
 import (

@@ -439,10 +439,18 @@ func (s *sim) startTask(ss *simSession, task trace.Task, submit time.Time) {
 }
 
 func (s *sim) taskReq(ss *simSession, task trace.Task) resources.Spec {
-	r := ss.req
-	r.GPUs = task.GPUs
-	if r.GPUs > ss.req.GPUs {
-		r.GPUs = ss.req.GPUs
+	return clampTaskReq(ss.req, task.GPUs)
+}
+
+// clampTaskReq shapes a task's exclusive-commit request from its session's
+// reservation: the task's GPU count (never above the reservation) with
+// VRAM sized at 16 GB per GPU. Shared by the single-cluster and federated
+// simulators so their request shaping cannot drift.
+func clampTaskReq(sessReq resources.Spec, taskGPUs int) resources.Spec {
+	r := sessReq
+	r.GPUs = taskGPUs
+	if r.GPUs > sessReq.GPUs {
+		r.GPUs = sessReq.GPUs
 	}
 	r.VRAMGB = float64(r.GPUs) * 16
 	return r

@@ -1,7 +1,3 @@
-// Package simclock abstracts time so the live platform runs on the wall
-// clock while tests and the simulator run on a virtual clock that can be
-// advanced deterministically. Evaluation workloads span 17.5 hours to 90
-// days (paper §5), so virtual time is essential for fast reproduction.
 package simclock
 
 import (

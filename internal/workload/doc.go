@@ -1,0 +1,5 @@
+// Package workload provides the evaluation workload substrate: the model
+// and dataset catalog of the paper's Table 1, and the notebook runtime
+// builtins (load_dataset, create_model, train, ...) that cell code run on
+// NotebookOS kernels uses to perform simulated IDLT tasks.
+package workload
