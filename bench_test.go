@@ -128,7 +128,44 @@ func BenchmarkAblationPrewarm(b *testing.B)           { runExperiment(b, "ablati
 func BenchmarkFederationClusterSweep(b *testing.B)  { runExperiment(b, "fed-scale") }
 func BenchmarkFederationPenaltySweep(b *testing.B)  { runExperiment(b, "fed-penalty") }
 func BenchmarkFederationPolicyCompare(b *testing.B) { runExperiment(b, "fed-policy") }
-func BenchmarkFederationFamily(b *testing.B)        { runExperiment(b, "federation") }
+func BenchmarkFederationMatrixAblation(b *testing.B) {
+	runExperiment(b, "fed-matrix")
+}
+func BenchmarkFederationFamily(b *testing.B) { runExperiment(b, "federation") }
+
+// BenchmarkFederationAutoscale runs the pooled-vs-per-member ablation
+// experiment end-to-end (16 federated sims); BenchmarkFederationPooledSim
+// below reports the headline pooled metrics directly.
+func BenchmarkFederationAutoscale(b *testing.B) {
+	runExperiment(b, "fed-autoscale")
+}
+
+// BenchmarkFederationPooledSim measures one pooled-autoscaling federated
+// simulation (6 clusters over a 30-host budget, geo-banded latency matrix)
+// and reports GPU-hours saved plus the final live host count — the
+// pooled-floor drain the per-member autoscalers cannot reach.
+func BenchmarkFederationPooledSim(b *testing.B) {
+	cfg := trace.AdobeExcerptConfig(42)
+	cfg.Duration = 4 * time.Hour
+	tr := trace.MustGenerate(cfg)
+	var res *sim.FedResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = sim.RunFederated(sim.FedConfig{
+			Trace:           tr,
+			Clusters:        sim.DefaultFedClusters(6, 30),
+			Route:           federation.LeastSubscribed{},
+			Latency:         federation.GeoBandedMatrix(6, 2, 5*time.Millisecond, 40*time.Millisecond),
+			PooledAutoscale: true,
+			Seed:            42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.GPUHoursSaved(), "GPUh-saved")
+	b.ReportMetric(float64(res.FinalHosts()), "final-hosts")
+}
 
 // BenchmarkFederationSim measures one federated simulation (4 clusters,
 // least-subscribed routing) and reports the federation-wide GPU-hours
@@ -229,7 +266,7 @@ func TestBenchCoversAllExperiments(t *testing.T) {
 		"fig20": true, "ablation-replicas": true, "ablation-sr": true,
 		"ablation-f": true, "ablation-prewarm": true,
 		"federation": true, "fed-scale": true, "fed-penalty": true,
-		"fed-policy": true,
+		"fed-policy": true, "fed-autoscale": true, "fed-matrix": true,
 	}
 	for _, e := range experiments.All() {
 		if !covered[e.ID] {

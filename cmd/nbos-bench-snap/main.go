@@ -149,6 +149,36 @@ func main() {
 	}))
 	rep.Scenarios[len(rep.Scenarios)-1].Metrics = fed
 
+	// Federated pooled autoscaling: a 6-cluster federation with a
+	// geo-banded latency matrix and one pooled scaling decision per
+	// interval — the fed-autoscale subsystem's hot path. final_hosts is
+	// the drained fleet size the per-member floors cannot reach.
+	var fedAuto map[string]float64
+	rep.Scenarios = append(rep.Scenarios, record("federation-pooled-autoscale-6-clusters", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		var res *sim.FedResult
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = sim.RunFederated(sim.FedConfig{
+				Trace:           tr,
+				Clusters:        sim.DefaultFedClusters(6, 30),
+				Route:           federation.LeastSubscribed{},
+				Latency:         federation.GeoBandedMatrix(6, 2, 5*time.Millisecond, 40*time.Millisecond),
+				PooledAutoscale: true,
+				Seed:            42,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		fedAuto = map[string]float64{
+			"gpuh_saved":  res.GPUHoursSaved(),
+			"final_hosts": float64(res.FinalHosts()),
+			"scale_ins":   float64(res.ScaleIns),
+		}
+	}))
+	rep.Scenarios[len(rep.Scenarios)-1].Metrics = fedAuto
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,91 @@
+// Command nbos-linkcheck verifies that every relative link in the
+// repository's Markdown files points at a file or directory that exists —
+// the CI docs gate that keeps README.md, docs/, and examples/ from rotting
+// as the tree is refactored.
+//
+// Usage:
+//
+//	nbos-linkcheck [root]
+//
+// It walks root (default ".") for *.md files, skipping dot-directories,
+// extracts [text](target) and ![alt](target) links, ignores absolute URLs
+// (a scheme prefix), mailto:, and pure in-page #fragments, strips any
+// #fragment from the rest, and resolves each target against the linking
+// file's directory. Broken targets are listed one per line and the exit
+// status is 1.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline Markdown links and images; the target group stops
+// at the first ')' or whitespace, which covers every link this repo
+// writes (no nested parentheses, no angle-bracketed targets).
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^()\s]+)\)`)
+
+// schemeRe detects absolute URLs (https://..., mailto:, etc.).
+var schemeRe = regexp.MustCompile(`^[a-zA-Z][a-zA-Z0-9+.-]*:`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken := 0
+	checked := 0
+	files := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name != "." && strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".md") {
+			return nil
+		}
+		files++
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(buf), -1) {
+			target := m[1]
+			if schemeRe.MatchString(target) || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			checked++
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s: broken link %q (resolved %s)\n", path, m[1], resolved)
+				broken++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("nbos-linkcheck: %d relative links across %d markdown files, %d broken\n",
+		checked, files, broken)
+	if broken > 0 {
+		os.Exit(1)
+	}
+}

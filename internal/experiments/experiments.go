@@ -66,6 +66,8 @@ func All() []Experiment {
 		{"fed-scale", "Federation: cluster count sweep 1-8", FederationScale},
 		{"fed-penalty", "Federation: inter-cluster penalty sweep", FederationPenalty},
 		{"fed-policy", "Federation: route policy comparison", FederationPolicy},
+		{"fed-autoscale", "Federation: pooled vs per-member autoscaling", FederationAutoscale},
+		{"fed-matrix", "Federation: latency-matrix shape ablation", FederationMatrix},
 	}
 }
 

@@ -175,13 +175,17 @@ func FederationPolicy(o Options) (string, error) {
 }
 
 // Federation runs the whole multi-cluster scenario family: the
-// cluster-count sweep, the inter-cluster penalty sweep, and the route
-// policy comparison.
+// cluster-count sweep, the inter-cluster penalty sweep, the route policy
+// comparison, the pooled-autoscaling ablation, and the latency-matrix
+// shape ablation.
 func Federation(o Options) (string, error) {
 	var b strings.Builder
 	b.WriteString(header("federation", "Multi-cluster scenario family", o))
 	b.WriteByte('\n')
-	for _, part := range []func(Options) (string, error){FederationScale, FederationPenalty, FederationPolicy} {
+	for _, part := range []func(Options) (string, error){
+		FederationScale, FederationPenalty, FederationPolicy,
+		FederationAutoscale, FederationMatrix,
+	} {
 		out, err := part(o)
 		if err != nil {
 			return "", err

@@ -3,6 +3,7 @@ package federation
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"notebookos/internal/resources"
 	"notebookos/internal/scheduler"
@@ -21,6 +22,7 @@ type Deployment struct {
 	mu      sync.Mutex
 	globals []*scheduler.GlobalScheduler
 	owners  map[string]int // kernelID -> member index
+	homes   map[string]int // kernelID -> home member index
 }
 
 // NewDeployment returns an empty federated deployment routing with policy
@@ -29,7 +31,7 @@ func NewDeployment(fed *Federation, policy RoutePolicy) *Deployment {
 	if policy == nil {
 		policy = LocalFirst{}
 	}
-	return &Deployment{fed: fed, policy: policy, owners: map[string]int{}}
+	return &Deployment{fed: fed, policy: policy, owners: map[string]int{}, homes: map[string]int{}}
 }
 
 // AddCluster registers the Global Scheduler serving the member with the
@@ -80,6 +82,7 @@ func (d *Deployment) StartKernel(home int, kernelID, session string, req resourc
 	// Reserve the ID before releasing the lock so a concurrent duplicate
 	// StartKernel cannot also start (and then orphan) a kernel.
 	d.owners[kernelID] = pendingOwner
+	d.homes[kernelID] = home
 	d.mu.Unlock()
 
 	var firstErr error
@@ -101,11 +104,31 @@ func (d *Deployment) StartKernel(home int, kernelID, session string, req resourc
 	}
 	d.mu.Lock()
 	delete(d.owners, kernelID)
+	delete(d.homes, kernelID)
 	d.mu.Unlock()
 	if firstErr == nil {
 		firstErr = fmt.Errorf("federation: no viable cluster for kernel %s", kernelID)
 	}
 	return 0, firstErr
+}
+
+// CrossingCost returns the round-trip inter-cluster latency a request for
+// the kernel pays: one crossing from the kernel's home member to its
+// owning member (the request) plus one back (the reply), zero when the
+// kernel landed on its home cluster. The pair costs come from the
+// federation's latency matrix when one is installed (summed per
+// direction, so asymmetric matrices charge correctly), else the symmetric
+// penalty — the live-platform analogue of the crossing charge the
+// federated simulator adds to remote executions.
+func (d *Deployment) CrossingCost(kernelID string) (time.Duration, bool) {
+	d.mu.Lock()
+	owner, ok := d.owners[kernelID]
+	home := d.homes[kernelID]
+	d.mu.Unlock()
+	if !ok || owner == pendingOwner {
+		return 0, false
+	}
+	return d.fed.RoundTrip(home, owner), true
 }
 
 // Owner returns the member index owning a kernel. A kernel whose start is
@@ -142,6 +165,7 @@ func (d *Deployment) StopKernel(kernelID string) error {
 	}
 	d.mu.Lock()
 	delete(d.owners, kernelID)
+	delete(d.homes, kernelID)
 	d.mu.Unlock()
 	return nil
 }

@@ -24,15 +24,47 @@ type Federation struct {
 	mu      sync.Mutex
 	members []*Member
 	// penalty is the symmetric inter-cluster latency penalty (zero within
-	// a cluster).
+	// a cluster), the fallback when no latency matrix is installed.
 	penalty time.Duration
+	// matrix, when non-nil, answers Penalty per ordered pair.
+	matrix LatencyMatrix
 	// notifier receives the fan-in of every member's capacity notifier.
 	notifier func()
 }
 
-// New returns an empty federation with the given inter-cluster penalty.
+// New returns an empty federation with the given symmetric inter-cluster
+// penalty. Install a per-pair LatencyMatrix with SetLatencyMatrix to
+// replace the single penalty.
 func New(interClusterPenalty time.Duration) *Federation {
 	return &Federation{penalty: interClusterPenalty}
+}
+
+// SetLatencyMatrix installs a per-pair latency matrix; Penalty then
+// answers from it instead of the symmetric penalty. The matrix must cover
+// every current member (AddMember re-checks for members added later, so
+// an undersized matrix fails loudly instead of silently making crossings
+// free). Like AddMember, call before the federation is shared between
+// goroutines — Penalty reads the matrix without locking.
+func (f *Federation) SetLatencyMatrix(m LatencyMatrix) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m != nil && m.Size() < len(f.members) {
+		return fmt.Errorf("federation: latency matrix covers %d members, federation has %d",
+			m.Size(), len(f.members))
+	}
+	f.matrix = m
+	return nil
+}
+
+// LatencyMatrix returns the installed matrix (nil when the federation uses
+// the symmetric penalty).
+func (f *Federation) LatencyMatrix() LatencyMatrix {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.matrix
 }
 
 // AddMember adds a cluster to the federation and wires its capacity
@@ -49,6 +81,11 @@ func (f *Federation) AddMember(name string, c *cluster.Cluster) (*Member, error)
 			f.mu.Unlock()
 			return nil, fmt.Errorf("federation: member %q already present", name)
 		}
+	}
+	if f.matrix != nil && f.matrix.Size() < len(f.members)+1 {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("federation: latency matrix covers %d members, cannot add member %d",
+			f.matrix.Size(), len(f.members)+1)
 	}
 	m := &Member{Index: len(f.members), Name: name, Cluster: c}
 	f.members = append(f.members, m)
@@ -103,13 +140,26 @@ func (f *Federation) NumMembers() int {
 	return len(f.members)
 }
 
-// Penalty returns the inter-cluster latency penalty between members i and
-// j: zero when i == j, the configured symmetric penalty otherwise.
+// Penalty returns the one-way inter-cluster latency cost of a crossing
+// from member i to member j: zero when i == j, the matrix pair cost when a
+// LatencyMatrix is installed, the configured symmetric penalty otherwise.
 func (f *Federation) Penalty(i, j int) time.Duration {
 	if i == j {
 		return 0
 	}
+	if f.matrix != nil {
+		return f.matrix.Penalty(i, j)
+	}
 	return f.penalty
+}
+
+// RoundTrip returns the cost of crossing from member i to member j and
+// back: Penalty(i, j) + Penalty(j, i), which differs from 2×Penalty(i, j)
+// when an asymmetric latency matrix is installed. This is the charge for
+// a remote execution's request/reply pair and for a cross-cluster
+// migration's persist/restore checkpoint transfer.
+func (f *Federation) RoundTrip(i, j int) time.Duration {
+	return f.Penalty(i, j) + f.Penalty(j, i)
 }
 
 // TotalGPUs returns the federation-wide GPU capacity: the sum of the

@@ -53,13 +53,17 @@ func (LeastSubscribed) Order(f *Federation, home int) []int {
 	})
 }
 
-// LatencyAware trades load balance against the inter-cluster penalty: a
-// remote cluster is preferred only when its subscription ratio undercuts
-// the home cluster's by more than the penalty is worth. The score is
+// LatencyAware trades load balance against the inter-cluster crossing
+// cost: a remote cluster is preferred only when its subscription ratio
+// undercuts the home cluster's by more than the crossing is worth. The
+// score is
 //
-//	SR(cluster) + Weight × Penalty(home, cluster)/second
+//	SR(cluster) + Weight × RoundTrip(home, cluster)/2 per second
 //
-// so with the default weight, a 100 ms penalty costs 0.5 SR points —
+// — the average one-way cost, which equals Penalty(home, cluster) for
+// symmetric matrices and stays consistent with what remote executions
+// actually pay (the round trip) when an asymmetric matrix is installed.
+// With the default weight, a 100 ms crossing costs 0.5 SR points —
 // remote clusters need substantially more headroom to win.
 type LatencyAware struct {
 	// Weight converts one second of inter-cluster penalty into
@@ -82,7 +86,7 @@ func (p LatencyAware) Order(f *Federation, home int) []int {
 		w = DefaultLatencyWeight
 	}
 	return orderByScore(f, home, func(m *Member) float64 {
-		return clusterSR(m) + w*f.Penalty(home, m.Index).Seconds()
+		return clusterSR(m) + w*f.RoundTrip(home, m.Index).Seconds()/2
 	})
 }
 

@@ -10,8 +10,29 @@
 // and RunFederated simulates the NotebookOS policy against a federation
 // of independently sized clusters (see internal/federation), routing
 // session placement and cross-cluster replica migration under a pluggable
-// federation route policy with a configurable inter-cluster latency
-// penalty.
+// federation route policy.
+//
+// Crossing-cost accounting in RunFederated: every federation boundary
+// crossing is charged from federation.Federation.Penalty — either the
+// symmetric FedConfig.InterClusterPenalty or, when FedConfig.Latency
+// installs a per-pair latency matrix, the actual (home, remote) pair
+// cost. A task served by a replica outside its session's home cluster
+// pays two crossings (request and reply); a migration that moves a
+// replica between clusters pays two crossings for the checkpoint
+// transfer (persist + restore through the data store).
+//
+// Autoscaling in RunFederated runs in one of two modes. Per-member (the
+// default): each member scales on its own committed load, floored at its
+// own FedClusterSpec.MinHosts — which is clamped to at least R, because a
+// member that places R-replica kernels locally becomes permanently
+// unplaceable below R hosts. Pooled (FedConfig.PooledAutoscale): one
+// federation.FederatedAutoscaler decision per interval, observed over the
+// members' O(1) counters, with the per-member floors replaced by a single
+// federation-wide floor (FedConfig.FedMinHosts, default a quarter of the
+// initial fleet, clamped to R) plus the placement anchor — scale-in never
+// leaves every member below R hosts, so kernels homed at drained members
+// still place somewhere via routing. The clamp rule lives in
+// scheduler.MinHostsFloor.
 //
 // Invariants:
 //
@@ -20,9 +41,10 @@
 //     harness. All randomness comes from rand.Rand instances seeded only
 //     by the config; tasks blocked on capacity park on a FIFO wait-queue
 //     drained as a single DES event (see capacityWaitQueue), never on
-//     polling timers; and nothing iterates Go maps on result-affecting
-//     paths. Double-run equality is enforced by determinism tests for
-//     both Run and RunFederated.
+//     polling timers; nothing iterates Go maps on result-affecting paths;
+//     and pooled autoscaling decisions are pure functions of the observed
+//     loads. Double-run equality is enforced by determinism tests for
+//     Run, RunFederated, and the pooled/matrix federated path.
 //   - Saturation costs O(waiters) events: the cluster's capacity notifier
 //     (Release/AddHost) wakes the wait-queue; there are no retry polls.
 //   - Traces are read-only: a *trace.Trace may be shared by any number of

@@ -26,9 +26,12 @@ type FedClusterSpec struct {
 	Hosts int
 	// HostCapacity is the per-server shape (defaults to p3.16xlarge).
 	HostCapacity resources.Spec
-	// MinHosts floors scale-in. It defaults to max(Hosts/4, R), capped at
-	// Hosts: scale-in must never leave the cluster unable to host one
-	// kernel's R replicas, or it becomes permanently unplaceable.
+	// MinHosts floors per-member scale-in. It defaults to Hosts/4 clamped
+	// through scheduler.MinHostsFloor to at least R (capped at Hosts):
+	// per-member scale-in must never leave the cluster unable to host one
+	// kernel's R replicas, or it becomes permanently unplaceable. Ignored
+	// under PooledAutoscale, which replaces the per-member floors with one
+	// federation-wide floor plus a placement anchor.
 	MinHosts int
 }
 
@@ -98,8 +101,33 @@ type FedConfig struct {
 	// zero — the zero value means "use the default", as elsewhere in this
 	// package's configs). Remote executions pay two crossings per
 	// request/reply; cross-cluster migrations pay two crossings for the
-	// checkpoint transfer.
+	// checkpoint transfer. Ignored when Latency is set.
 	InterClusterPenalty time.Duration
+	// Latency is a per-pair inter-cluster latency matrix (see
+	// federation.UniformMatrix / HubSpokeMatrix / GeoBandedMatrix). When
+	// set it replaces InterClusterPenalty: every crossing — remote
+	// execution request/reply, cross-cluster checkpoint transfer, and the
+	// LatencyAware route policy's cost term — pays the actual pair cost.
+	// Its size must equal the cluster count.
+	Latency federation.LatencyMatrix
+	// PooledAutoscale switches autoscaling from one evaluation per member
+	// (each scaling on its own committed load, pinned at its own MinHosts
+	// floor) to one federation.FederatedAutoscaler decision per interval:
+	// federation-wide expected capacity, ScalePolicy-chosen target member,
+	// and a single federation-wide floor so small members can drain to
+	// near-zero.
+	PooledAutoscale bool
+	// FedMinHosts is the federation-wide scale-in floor under
+	// PooledAutoscale, clamped through scheduler.MinHostsFloor to at least
+	// R. It defaults to a quarter of the initial federation-wide host
+	// count — the same floor rule a single cluster uses, applied once to
+	// the whole federation instead of once per member, so the floor stays
+	// flat as the cluster count grows. A bare R-host floor is legal but
+	// causes drain/re-provision churn at low cluster counts.
+	FedMinHosts int
+	// ScalePolicy picks the member each pooled decision lands on (default
+	// federation.GreedyScalePolicy).
+	ScalePolicy federation.ScalePolicy
 	// ReplicasPerKernel is R (default 3). A session's replicas are placed
 	// within a single cluster at creation; migration may later move a
 	// replica to another cluster.
@@ -147,19 +175,36 @@ func (c *FedConfig) withDefaults() error {
 			spec.HostCapacity = resources.P316xlarge()
 		}
 		if spec.MinHosts <= 0 {
-			// Scale-in must never leave a cluster unable to host one
-			// kernel's R replicas, or it becomes permanently unplaceable.
-			spec.MinHosts = spec.Hosts / 4
-			if spec.MinHosts < c.ReplicasPerKernel {
-				spec.MinHosts = c.ReplicasPerKernel
-			}
+			// Per-member scale-in must never leave a cluster unable to host
+			// one kernel's R replicas (the clamp rule lives in
+			// scheduler.MinHostsFloor).
+			spec.MinHosts = scheduler.MinHostsFloor(spec.Hosts/4, c.ReplicasPerKernel)
 			if spec.MinHosts > spec.Hosts {
 				spec.MinHosts = spec.Hosts
 			}
 		}
 	}
+	if c.Latency != nil {
+		if err := c.Latency.Validate(); err != nil {
+			return err
+		}
+		if c.Latency.Size() != len(c.Clusters) {
+			return fmt.Errorf("sim: latency matrix covers %d members, federation has %d clusters",
+				c.Latency.Size(), len(c.Clusters))
+		}
+	}
+	if c.FedMinHosts <= 0 {
+		total := 0
+		for _, spec := range c.Clusters {
+			total += spec.Hosts
+		}
+		c.FedMinHosts = scheduler.MinHostsFloor(total/4, c.ReplicasPerKernel)
+	}
 	if c.Route == nil {
 		c.Route = federation.LocalFirst{}
+	}
+	if c.ScalePolicy == nil {
+		c.ScalePolicy = federation.GreedyScalePolicy{}
 	}
 	if c.InterClusterPenalty < 0 {
 		c.InterClusterPenalty = 0
@@ -205,6 +250,10 @@ type FedClusterResult struct {
 	MigrationsIn int
 	ScaleOuts    int
 	ScaleIns     int
+	// FinalHosts is the member's live host count when the run ended —
+	// under pooled autoscaling small members drain here toward zero, while
+	// per-member scaling pins each at its own MinHosts floor.
+	FinalHosts int
 }
 
 // FedResult carries the outcome of a federated simulation: per-cluster
@@ -245,6 +294,16 @@ type FedResult struct {
 // (what the Reservation baseline would bind) minus provisioned GPU-hours.
 func (r *FedResult) GPUHoursSaved() float64 {
 	return r.ReservedGPUHours - r.ProvisionedGPUHours
+}
+
+// FinalHosts returns the federation-wide live host count when the run
+// ended (the sum of the per-cluster FinalHosts).
+func (r *FedResult) FinalHosts() int {
+	n := 0
+	for _, c := range r.Clusters {
+		n += c.FinalHosts
+	}
+	return n
 }
 
 // fedHost pairs a member host with its cluster index and warm-pool count.
@@ -302,7 +361,10 @@ type fedSim struct {
 	// it is woken by any member's Release/AddHost via the federation's
 	// capacity-notification fan-in.
 	waitq *capacityWaitQueue
-	res   *FedResult
+	// autoscaler makes the pooled decisions when cfg.PooledAutoscale is
+	// set; nil in per-member mode.
+	autoscaler *federation.FederatedAutoscaler
+	res        *FedResult
 }
 
 // RunFederated executes a federated simulation and returns its result.
@@ -344,6 +406,20 @@ func RunFederated(cfg FedConfig) (*FedResult, error) {
 		s.res.Clusters = append(s.res.Clusters, m.res)
 		for j := 0; j < spec.Hosts; j++ {
 			s.addHost(i)
+		}
+	}
+	if cfg.Latency != nil {
+		// Size was validated against the cluster count in withDefaults.
+		if err := s.fed.SetLatencyMatrix(cfg.Latency); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.PooledAutoscale {
+		s.autoscaler = &federation.FederatedAutoscaler{
+			ScaleFactor: cfg.ScaleFactor,
+			MinHosts:    cfg.FedMinHosts,
+			Replicas:    cfg.ReplicasPerKernel,
+			Policy:      cfg.ScalePolicy,
 		}
 	}
 	// Any member's capacity-freeing transition wakes the shared queue.
@@ -519,10 +595,11 @@ func (s *fedSim) tryTask(ss *fedSession, task trace.Task, submit time.Time) bool
 
 	// A replica living outside the session's home cluster serves requests
 	// across the federation boundary: request and reply each pay one
-	// inter-cluster crossing.
+	// inter-cluster crossing (summed per direction, so asymmetric
+	// matrices charge correctly).
 	var wan time.Duration
 	if fh.member != ss.home {
-		wan = 2 * s.fed.Penalty(ss.home, fh.member)
+		wan = s.fed.RoundTrip(ss.home, fh.member)
 		s.res.RemoteExecutions++
 	}
 
@@ -583,16 +660,8 @@ func (s *fedSim) tryFedMigrate(ss *fedSession, task trace.Task, submit time.Time
 	if target == nil {
 		// Scale out the home cluster; the AddHost notification wakes the
 		// shared wait-queue (as does a Release in any other cluster).
-		m := s.members[ss.home]
-		if m.pendingHosts == 0 {
-			m.pendingHosts++
-			s.res.ScaleOuts++
-			m.res.ScaleOuts++
-			provision := lat.HostProvision(s.rng)
-			s.eng.Defer(provision, func() {
-				s.addHost(ss.home)
-				m.pendingHosts--
-			})
+		if s.members[ss.home].pendingHosts == 0 {
+			s.provisionHosts(ss.home, 1)
 		}
 		return false
 	}
@@ -626,7 +695,7 @@ func (s *fedSim) tryFedMigrate(ss *fedSession, task trace.Task, submit time.Time
 	rdLat := lat.Store.GetLatency(ss.assig.Model.ParamBytes, s.rng)
 	extra += wrLat + rdLat + electionCost
 	if cross {
-		extra += 2 * s.fed.Penalty(old.member, target.member)
+		extra += s.fed.RoundTrip(old.member, target.member)
 	}
 
 	key := ss.replicaKeyFor(victim + 1)
@@ -687,14 +756,107 @@ func (s *fedSim) sampleProvisioned() {
 func (s *fedSim) scheduleAutoscale() {
 	var tick func()
 	tick = func() {
-		for i := range s.members {
-			s.autoscaleMember(i)
+		if s.autoscaler != nil {
+			s.autoscalePooled()
+		} else {
+			for i := range s.members {
+				s.autoscaleMember(i)
+			}
 		}
 		if s.now().Before(s.cfg.Trace.End) {
 			s.eng.Defer(s.cfg.AutoscaleInterval, tick)
 		}
 	}
 	s.eng.Defer(s.cfg.AutoscaleInterval, tick)
+}
+
+// autoscalePooled runs one pooled evaluation: snapshot every member's O(1)
+// counters, let the FederatedAutoscaler make the single federation-wide
+// decision, and execute it — provision hosts on the chosen member after
+// the provisioning latency, or retire up to the decided number of empty
+// hosts from it. Per-member MinHosts floors do not apply here; the
+// autoscaler enforces the federation-wide floor and the placement anchor
+// (some member always keeps R hosts).
+func (s *fedSim) autoscalePooled() {
+	loads := make([]federation.MemberLoad, len(s.members))
+	for i, m := range s.members {
+		l := federation.MemberLoad{
+			Hosts:          m.c.NumHosts(),
+			PendingHosts:   m.pendingHosts,
+			GPUsPerHost:    m.spec.HostCapacity.GPUs,
+			CommittedGPUs:  m.c.CommittedGPUs(),
+			SubscribedGPUs: m.c.SubscribedGPUs(),
+		}
+		for _, fh := range m.hosts {
+			if hostEmpty(fh) {
+				l.EmptyHosts++
+			}
+		}
+		loads[i] = l
+	}
+	dec := s.autoscaler.Decide(loads)
+	switch dec.Action {
+	case federation.ScaleOut:
+		s.provisionHosts(dec.Member, dec.Hosts)
+	case federation.ScaleIn:
+		m := s.members[dec.Member]
+		released := 0
+		for i := 0; i < len(m.hosts) && released < dec.Hosts; {
+			if s.removeHostIfEmpty(m, i) {
+				released++
+				continue
+			}
+			i++
+		}
+		if released > 0 {
+			s.res.ScaleIns++
+			m.res.ScaleIns++
+			s.sampleProvisioned()
+		}
+	}
+}
+
+// provisionHosts starts need hosts toward member idx: they count as
+// pending (toward autoscaler capacity) immediately and land after the
+// provisioning latency.
+func (s *fedSim) provisionHosts(idx, need int) {
+	m := s.members[idx]
+	m.pendingHosts += need
+	s.res.ScaleOuts++
+	m.res.ScaleOuts++
+	provision := s.cfg.Latencies.HostProvision(s.rng)
+	s.eng.Defer(provision, func() {
+		for i := 0; i < need; i++ {
+			s.addHost(idx)
+		}
+		m.pendingHosts -= need
+		s.sampleProvisioned()
+	})
+}
+
+// hostEmpty reports whether a host holds no replicas and no commitments —
+// the one definition of "retirable" shared by the scale-in executors and
+// the EmptyHosts gauge the pooled autoscaler decides on, so the gauge can
+// never promise removals the executor refuses.
+func hostEmpty(fh *fedHost) bool {
+	return fh.h.NumReplicas() == 0 && fh.h.Committed().IsZero()
+}
+
+// removeHostIfEmpty retires m.hosts[i] when it is empty, unwiring it from
+// the member and the host index; reports whether it was removed. Both
+// autoscaling modes retire through this so the emptiness predicate and
+// the bookkeeping cannot drift apart.
+func (s *fedSim) removeHostIfEmpty(m *fedMember, i int) bool {
+	fh := m.hosts[i]
+	if !hostEmpty(fh) {
+		return false
+	}
+	if err := m.c.RemoveHost(fh.h.ID); err != nil {
+		return false
+	}
+	m.hosts = append(m.hosts[:i], m.hosts[i+1:]...)
+	delete(s.byHost, fh.h)
+	return true
 }
 
 // autoscaleMember runs one member's autoscaler evaluation: each cluster
@@ -708,17 +870,7 @@ func (s *fedSim) autoscaleMember(idx int) {
 
 	if float64(total) < expected {
 		need := int(math.Ceil((expected - float64(total)) / float64(gpusPerHost)))
-		m.pendingHosts += need
-		s.res.ScaleOuts++
-		m.res.ScaleOuts++
-		provision := s.cfg.Latencies.HostProvision(s.rng)
-		s.eng.Defer(provision, func() {
-			for i := 0; i < need; i++ {
-				s.addHost(idx)
-			}
-			m.pendingHosts -= need
-			s.sampleProvisioned()
-		})
+		s.provisionHosts(idx, need)
 		return
 	}
 	// Scale in: release up to 2 idle servers while above the floor.
@@ -728,15 +880,9 @@ func (s *fedSim) autoscaleMember(idx int) {
 			if released >= 2 || m.c.NumHosts() <= m.spec.MinHosts {
 				break
 			}
-			fh := m.hosts[i]
-			removed := false
-			if fh.h.NumReplicas() == 0 && fh.h.Committed().IsZero() {
-				if err := m.c.RemoveHost(fh.h.ID); err == nil {
-					m.hosts = append(m.hosts[:i], m.hosts[i+1:]...)
-					delete(s.byHost, fh.h)
-					released++
-					removed = true
-				}
+			removed := s.removeHostIfEmpty(m, i)
+			if removed {
+				released++
 			}
 			if float64(m.c.TotalGPUs())-float64(gpusPerHost) <= expected {
 				break
@@ -761,6 +907,7 @@ func (s *fedSim) finalize() {
 	for i, m := range s.members {
 		prov[i] = m.res.ProvisionedGPUs
 		comm[i] = m.res.CommittedGPUs
+		m.res.FinalHosts = m.c.NumHosts()
 	}
 	s.res.ProvisionedGPUs = metrics.MergeTimelines(prov...)
 	s.res.CommittedGPUs = metrics.MergeTimelines(comm...)
