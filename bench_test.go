@@ -167,6 +167,54 @@ func BenchmarkFederationPooledSim(b *testing.B) {
 	b.ReportMetric(float64(res.FinalHosts()), "final-hosts")
 }
 
+// BenchmarkShardedSim measures one 4-shard sharded NotebookOS run: the
+// trace splits into session-partitioned shards replayed by parallel
+// worker simulations and merged deterministically (sim.RunSharded). The
+// reported GPUh-saved is the sharded approximation of the fig8 headline.
+func BenchmarkShardedSim(b *testing.B) {
+	cfg := trace.AdobeExcerptConfig(42)
+	cfg.Duration = 4 * time.Hour
+	tr := trace.MustGenerate(cfg)
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunSharded(sim.Config{Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30, Seed: 42}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reserved := tr.ReservedGPUs().Integral(tr.Start, tr.End)
+		saved = reserved - res.ProvisionedGPUs.Integral(tr.Start, tr.End)
+	}
+	b.ReportMetric(saved, "GPUh-saved")
+}
+
+// BenchmarkSummerFederation runs the summer-fed experiment (the 90-day
+// trace federated; 10-day quick scale here) end-to-end.
+func BenchmarkSummerFederation(b *testing.B) { runExperiment(b, "summer-fed") }
+
+// BenchmarkFederationShardedSim measures one 2-shard federated run: two
+// worker federations over split member clusters, merged with
+// sim.MergeFedResults.
+func BenchmarkFederationShardedSim(b *testing.B) {
+	cfg := trace.AdobeExcerptConfig(42)
+	cfg.Duration = 4 * time.Hour
+	tr := trace.MustGenerate(cfg)
+	var res *sim.FedResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = sim.RunFederatedSharded(sim.FedConfig{
+			Trace:           tr,
+			Clusters:        sim.DefaultFedClusters(4, 30),
+			Route:           federation.LeastSubscribed{},
+			PooledAutoscale: true,
+			Seed:            42,
+		}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.GPUHoursSaved(), "GPUh-saved")
+}
+
 // BenchmarkFederationSim measures one federated simulation (4 clusters,
 // least-subscribed routing) and reports the federation-wide GPU-hours
 // saved and the remote-execution share.
@@ -267,6 +315,7 @@ func TestBenchCoversAllExperiments(t *testing.T) {
 		"ablation-f": true, "ablation-prewarm": true,
 		"federation": true, "fed-scale": true, "fed-penalty": true,
 		"fed-policy": true, "fed-autoscale": true, "fed-matrix": true,
+		"summer-fed": true,
 	}
 	for _, e := range experiments.All() {
 		if !covered[e.ID] {

@@ -1,0 +1,155 @@
+// Command nbos-bench-diff is the benchmark regression gate: it collects a
+// fresh snapshot of the internal/benchsnap scenarios (or loads one with
+// -fresh) and compares it against the committed baseline.
+//
+// Usage:
+//
+//	nbos-bench-diff [-baseline BENCH_BASELINE.json] [-fresh snap.json] [-tol 0.001]
+//
+// Simulation metrics (gpuh_saved, delay_p50_ms, ...) are deterministic
+// for the fixed seed, so any relative drift beyond the per-metric
+// tolerance fails the gate (exit 1) — as does a scenario or metric
+// missing on either side, which means the baseline is stale and must be
+// regenerated with `go run ./cmd/nbos-bench-snap`. Timing numbers (ns/op,
+// bytes/op, allocs/op) are machine-dependent and stay informational: they
+// print as a delta table but never fail the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"notebookos/internal/benchsnap"
+)
+
+// metricTolerances loosens specific metrics beyond the default relative
+// tolerance. Counter-like metrics (final_hosts, cross_migrations, tasks,
+// scale_ins) and integrals are exact replays of a fixed seed, so nothing
+// currently needs loosening; the table exists so a future
+// machine-sensitive metric can declare itself without weakening the rest.
+var metricTolerances = map[string]float64{}
+
+func loadReport(path string) (benchsnap.Report, error) {
+	var rep benchsnap.Report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// relDrift returns |new-old| relative to |old| (or to 1 when old is ~0,
+// so zero-valued baselines still gate on absolute drift).
+func relDrift(old, new float64) float64 {
+	den := math.Abs(old)
+	if den < 1 {
+		den = 1
+	}
+	return math.Abs(new-old) / den
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "committed baseline snapshot")
+	freshPath := flag.String("fresh", "", "pre-collected snapshot to compare (default: collect now)")
+	tol := flag.Float64("tol", 0.001, "default per-metric relative tolerance")
+	flag.Parse()
+
+	baseline, err := loadReport(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nbos-bench-diff: %v\n", err)
+		os.Exit(1)
+	}
+	var fresh benchsnap.Report
+	if *freshPath != "" {
+		if fresh, err = loadReport(*freshPath); err != nil {
+			fmt.Fprintf(os.Stderr, "nbos-bench-diff: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Println("collecting fresh snapshot...")
+		fresh = benchsnap.Collect()
+	}
+
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	// Informational timing delta table (never gates).
+	fmt.Printf("%-42s %14s %14s %10s %12s\n", "scenario (timing, informational)", "base ns/op", "new ns/op", "Δns%", "Δallocs")
+	for _, bs := range baseline.Scenarios {
+		fs, ok := fresh.Scenario(bs.Name)
+		if !ok {
+			continue
+		}
+		dns := 0.0
+		if bs.NsPerOp > 0 {
+			dns = (float64(fs.NsPerOp)/float64(bs.NsPerOp) - 1) * 100
+		}
+		fmt.Printf("%-42s %14d %14d %9.1f%% %12d\n",
+			bs.Name, bs.NsPerOp, fs.NsPerOp, dns, fs.AllocsPerOp-bs.AllocsPerOp)
+	}
+	fmt.Println()
+
+	// Gated metric comparison.
+	fmt.Printf("%-42s %-18s %16s %16s %10s\n", "scenario (metrics, gated)", "metric", "baseline", "fresh", "drift")
+	for _, bs := range baseline.Scenarios {
+		fs, ok := fresh.Scenario(bs.Name)
+		if !ok {
+			fail("scenario %q in baseline but not in fresh snapshot (stale baseline? regenerate with nbos-bench-snap)", bs.Name)
+			continue
+		}
+		keys := make([]string, 0, len(bs.Metrics))
+		for k := range bs.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			old := bs.Metrics[k]
+			new, ok := fs.Metrics[k]
+			if !ok {
+				fail("%s: metric %q missing from fresh snapshot", bs.Name, k)
+				continue
+			}
+			t := *tol
+			if mt, ok := metricTolerances[k]; ok {
+				t = mt
+			}
+			drift := relDrift(old, new)
+			mark := ""
+			if drift > t {
+				mark = "  << FAIL"
+				fail("%s: metric %q drifted %.4g%% (baseline %v, fresh %v, tolerance %.4g%%)",
+					bs.Name, k, drift*100, old, new, t*100)
+			}
+			fmt.Printf("%-42s %-18s %16.6g %16.6g %9.4f%%%s\n", bs.Name, k, old, new, drift*100, mark)
+		}
+		for k := range fs.Metrics {
+			if _, ok := bs.Metrics[k]; !ok {
+				fail("%s: new metric %q not in baseline (regenerate with nbos-bench-snap)", bs.Name, k)
+			}
+		}
+	}
+	for _, fs := range fresh.Scenarios {
+		if _, ok := baseline.Scenario(fs.Name); !ok {
+			fail("new scenario %q not in baseline (regenerate with nbos-bench-snap)", fs.Name)
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Println()
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "FAIL: %s\n", f)
+		}
+		fmt.Fprintf(os.Stderr, "nbos-bench-diff: %d metric regression(s); if intentional, regenerate the baseline with `go run ./cmd/nbos-bench-snap` and commit it\n", len(failures))
+		os.Exit(1)
+	}
+	fmt.Println("nbos-bench-diff: all gated metrics within tolerance")
+}

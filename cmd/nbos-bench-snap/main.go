@@ -1,16 +1,16 @@
 // Command nbos-bench-snap records a benchmark snapshot of the simulator's
-// hot paths for tracking the performance trajectory across PRs. It runs
-// the three headline benchmark scenarios (Fig. 8 provisioned GPUs, Fig. 9a
-// interactivity, and the autoscaler-factor ablation sweep) via
-// testing.Benchmark and writes a JSON summary.
+// hot paths for tracking the performance trajectory across PRs. The
+// scenario list lives in internal/benchsnap and is shared with
+// cmd/nbos-bench-diff, the CI gate that compares a fresh snapshot against
+// the committed baseline.
 //
 // Usage:
 //
 //	nbos-bench-snap [-o BENCH_BASELINE.json]
 //
 // The JSON carries both machine-dependent numbers (ns/op) and
-// machine-independent ones (allocs/op, simulated-event counts, benchmark
-// metric values); compare like with like.
+// machine-independent ones (allocs/op, deterministic simulation metric
+// values); compare like with like.
 package main
 
 import (
@@ -18,167 +18,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"sync"
-	"testing"
-	"time"
 
-	"notebookos/internal/federation"
-	"notebookos/internal/sim"
-	"notebookos/internal/trace"
+	"notebookos/internal/benchsnap"
 )
-
-// snapshot is one benchmark scenario's recorded result.
-type snapshot struct {
-	Name        string             `json:"name"`
-	NsPerOp     int64              `json:"ns_per_op"`
-	AllocsPerOp int64              `json:"allocs_per_op"`
-	BytesPerOp  int64              `json:"bytes_per_op"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
-
-type report struct {
-	GoVersion string     `json:"go_version"`
-	GOARCH    string     `json:"goarch"`
-	NumCPU    int        `json:"num_cpu"`
-	Scenarios []snapshot `json:"scenarios"`
-}
-
-func quickTrace() *trace.Trace {
-	cfg := trace.AdobeExcerptConfig(42)
-	cfg.Duration = 4 * time.Hour
-	return trace.MustGenerate(cfg)
-}
-
-func record(name string, metrics map[string]float64, fn func(b *testing.B)) snapshot {
-	r := testing.Benchmark(fn)
-	return snapshot{
-		Name:        name,
-		NsPerOp:     r.NsPerOp(),
-		AllocsPerOp: r.AllocsPerOp(),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		Metrics:     metrics,
-	}
-}
 
 func main() {
 	out := flag.String("o", "BENCH_BASELINE.json", "output path ('-' for stdout)")
 	flag.Parse()
 
-	tr := quickTrace()
-	rep := report{GoVersion: runtime.Version(), GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU()}
-
-	// Fig. 8: NotebookOS provisioned-GPU run plus the headline GPU-hours
-	// saved for the fixed seed.
-	var fig8 map[string]float64
-	rep.Scenarios = append(rep.Scenarios, record("fig08-provisioned-gpus", nil, func(b *testing.B) {
-		b.ReportAllocs()
-		var saved float64
-		for i := 0; i < b.N; i++ {
-			res, err := sim.Run(sim.Config{Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30, Seed: 42})
-			if err != nil {
-				b.Fatal(err)
-			}
-			reserved := tr.ReservedGPUs().Integral(tr.Start, tr.End)
-			saved = reserved - res.ProvisionedGPUs.Integral(tr.Start, tr.End)
-		}
-		fig8 = map[string]float64{"gpuh_saved": saved}
-	}))
-	rep.Scenarios[len(rep.Scenarios)-1].Metrics = fig8
-
-	// Fig. 9a: interactivity-delay p50 for the fixed seed.
-	var fig9 map[string]float64
-	rep.Scenarios = append(rep.Scenarios, record("fig09a-interactivity", nil, func(b *testing.B) {
-		b.ReportAllocs()
-		var p50 float64
-		for i := 0; i < b.N; i++ {
-			res, err := sim.Run(sim.Config{Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30, Seed: 42})
-			if err != nil {
-				b.Fatal(err)
-			}
-			p50 = res.Interactivity.Percentile(50) * 1000
-		}
-		fig9 = map[string]float64{"delay_p50_ms": p50}
-	}))
-	rep.Scenarios[len(rep.Scenarios)-1].Metrics = fig9
-
-	// Autoscaler-factor ablation: a four-config parallel sweep, the
-	// experiment harness's fan-out pattern.
-	rep.Scenarios = append(rep.Scenarios, record("ablation-scale-factor-sweep", nil, func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			var wg sync.WaitGroup
-			for _, f := range []float64{1.0, 1.05, 1.25, 1.5} {
-				wg.Add(1)
-				go func(f float64) {
-					defer wg.Done()
-					if _, err := sim.Run(sim.Config{
-						Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30,
-						ScaleFactor: f, Seed: 42,
-					}); err != nil {
-						b.Error(err)
-					}
-				}(f)
-			}
-			wg.Wait()
-		}
-	}))
-
-	// Federation: a 4-cluster federated run (least-subscribed routing),
-	// covering the multi-cluster subsystem's hot path.
-	var fed map[string]float64
-	rep.Scenarios = append(rep.Scenarios, record("federation-4-clusters", nil, func(b *testing.B) {
-		b.ReportAllocs()
-		var res *sim.FedResult
-		for i := 0; i < b.N; i++ {
-			var err error
-			res, err = sim.RunFederated(sim.FedConfig{
-				Trace:    tr,
-				Clusters: sim.DefaultFedClusters(4, 30),
-				Route:    federation.LeastSubscribed{},
-				Seed:     42,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-		}
-		fed = map[string]float64{
-			"gpuh_saved":       res.GPUHoursSaved(),
-			"cross_migrations": float64(res.CrossMigrations),
-		}
-	}))
-	rep.Scenarios[len(rep.Scenarios)-1].Metrics = fed
-
-	// Federated pooled autoscaling: a 6-cluster federation with a
-	// geo-banded latency matrix and one pooled scaling decision per
-	// interval — the fed-autoscale subsystem's hot path. final_hosts is
-	// the drained fleet size the per-member floors cannot reach.
-	var fedAuto map[string]float64
-	rep.Scenarios = append(rep.Scenarios, record("federation-pooled-autoscale-6-clusters", nil, func(b *testing.B) {
-		b.ReportAllocs()
-		var res *sim.FedResult
-		for i := 0; i < b.N; i++ {
-			var err error
-			res, err = sim.RunFederated(sim.FedConfig{
-				Trace:           tr,
-				Clusters:        sim.DefaultFedClusters(6, 30),
-				Route:           federation.LeastSubscribed{},
-				Latency:         federation.GeoBandedMatrix(6, 2, 5*time.Millisecond, 40*time.Millisecond),
-				PooledAutoscale: true,
-				Seed:            42,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-		}
-		fedAuto = map[string]float64{
-			"gpuh_saved":  res.GPUHoursSaved(),
-			"final_hosts": float64(res.FinalHosts()),
-			"scale_ins":   float64(res.ScaleIns),
-		}
-	}))
-	rep.Scenarios[len(rep.Scenarios)-1].Metrics = fedAuto
-
+	rep := benchsnap.Collect()
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

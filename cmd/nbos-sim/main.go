@@ -6,6 +6,8 @@
 //	nbos-sim -list
 //	nbos-sim -exp fig8 [-seed 42] [-quick]
 //	nbos-sim -exp federation            # multi-cluster scenario family
+//	nbos-sim -exp fig12a -shards 4      # shard the trace across 4 workers
+//	nbos-sim -exp summer-fed -shards 4  # 90-day trace, federated + sharded
 //	nbos-sim -exp all [-jobs 8]
 package main
 
@@ -21,11 +23,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (e.g. fig8), or 'all'")
-		seed  = flag.Int64("seed", 42, "random seed")
-		quick = flag.Bool("quick", false, "reduced-scale run")
-		list  = flag.Bool("list", false, "list experiments")
-		jobs  = flag.Int("jobs", runtime.NumCPU(), "concurrent experiments for -exp all (output stays in paper order)")
+		exp    = flag.String("exp", "", "experiment id (e.g. fig8), or 'all'")
+		seed   = flag.Int64("seed", 42, "random seed")
+		quick  = flag.Bool("quick", false, "reduced-scale run")
+		list   = flag.Bool("list", false, "list experiments")
+		jobs   = flag.Int("jobs", runtime.NumCPU(), "concurrent experiments for -exp all (output stays in paper order)")
+		shards = flag.Int("shards", 1, "session-partitioned trace shards per simulation (1 = unsharded; >1 merges parallel workers deterministically, see docs/ARCHITECTURE.md)")
 	)
 	flag.Parse()
 
@@ -40,7 +43,7 @@ func main() {
 		return
 	}
 
-	o := experiments.Options{Seed: *seed, Quick: *quick}
+	o := experiments.Options{Seed: *seed, Quick: *quick, Shards: *shards}
 	if *exp == "all" {
 		runAll(o, *jobs)
 		return

@@ -1,0 +1,231 @@
+// Package benchsnap defines the benchmark-snapshot scenarios shared by
+// cmd/nbos-bench-snap (which records BENCH_BASELINE.json) and
+// cmd/nbos-bench-diff (the CI regression gate that compares a fresh
+// snapshot against it). Both commands collecting through one scenario
+// list is what makes the gate meaningful: a scenario added here is
+// automatically recorded by the next snapshot and guarded by the next
+// diff.
+//
+// Each scenario carries two kinds of numbers. Simulation metrics
+// (gpuh_saved, delay_p50_ms, final_hosts, ...) are deterministic for the
+// fixed seed — identical on every machine and every run — so the diff
+// gate holds them to tight relative tolerances. Timing numbers (ns/op,
+// bytes/op, allocs/op) are machine- and scheduling-dependent and stay
+// informational: the diff prints their deltas but never fails on them.
+package benchsnap
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"notebookos/internal/federation"
+	"notebookos/internal/sim"
+	"notebookos/internal/trace"
+)
+
+// Snapshot is one benchmark scenario's recorded result.
+type Snapshot struct {
+	Name        string             `json:"name"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is a full snapshot: environment plus every scenario.
+type Report struct {
+	GoVersion string     `json:"go_version"`
+	GOARCH    string     `json:"goarch"`
+	NumCPU    int        `json:"num_cpu"`
+	Scenarios []Snapshot `json:"scenarios"`
+}
+
+// Scenario returns the named scenario and whether it exists.
+func (r *Report) Scenario(name string) (Snapshot, bool) {
+	for _, s := range r.Scenarios {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Snapshot{}, false
+}
+
+func quickTrace() *trace.Trace {
+	cfg := trace.AdobeExcerptConfig(42)
+	cfg.Duration = 4 * time.Hour
+	return trace.MustGenerate(cfg)
+}
+
+// quickSummerTrace is the reduced 10-day summer trace (the -quick scale
+// of the 90-day figures) driving the summer-fed scenario.
+func quickSummerTrace() *trace.Trace {
+	cfg := trace.AdobeSummerConfig(42)
+	cfg.Duration = 10 * 24 * time.Hour
+	return trace.MustGenerate(cfg)
+}
+
+// scenario is one benchmark definition: run executes one simulation per
+// iteration and returns the scenario's deterministic metrics (the
+// returned map from the final iteration is recorded).
+type scenario struct {
+	name string
+	run  func(b *testing.B, tr, summer *trace.Trace) map[string]float64
+}
+
+// scenarios is the single source of truth for what gets snapshotted and
+// what the CI gate guards.
+func scenarios() []scenario {
+	return []scenario{
+		{"fig08-provisioned-gpus", func(b *testing.B, tr, _ *trace.Trace) map[string]float64 {
+			var saved float64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Config{Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30, Seed: 42})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reserved := tr.ReservedGPUs().Integral(tr.Start, tr.End)
+				saved = reserved - res.ProvisionedGPUs.Integral(tr.Start, tr.End)
+			}
+			return map[string]float64{"gpuh_saved": saved}
+		}},
+		{"fig09a-interactivity", func(b *testing.B, tr, _ *trace.Trace) map[string]float64 {
+			var p50 float64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Config{Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30, Seed: 42})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p50 = res.Interactivity.Percentile(50) * 1000
+			}
+			return map[string]float64{"delay_p50_ms": p50}
+		}},
+		{"ablation-scale-factor-sweep", func(b *testing.B, tr, _ *trace.Trace) map[string]float64 {
+			for i := 0; i < b.N; i++ {
+				cfgs := make([]sim.Config, 0, 4)
+				for _, f := range []float64{1.0, 1.05, 1.25, 1.5} {
+					cfgs = append(cfgs, sim.Config{
+						Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30,
+						ScaleFactor: f, Seed: 42,
+					})
+				}
+				done := make(chan error, len(cfgs))
+				for _, cfg := range cfgs {
+					go func(cfg sim.Config) {
+						_, err := sim.Run(cfg)
+						done <- err
+					}(cfg)
+				}
+				for range cfgs {
+					if err := <-done; err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			return nil
+		}},
+		{"sharded-4-provisioned-gpus", func(b *testing.B, tr, _ *trace.Trace) map[string]float64 {
+			var saved, tasks float64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunSharded(sim.Config{Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30, Seed: 42}, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reserved := tr.ReservedGPUs().Integral(tr.Start, tr.End)
+				saved = reserved - res.ProvisionedGPUs.Integral(tr.Start, tr.End)
+				tasks = float64(res.Tasks)
+			}
+			return map[string]float64{"gpuh_saved": saved, "tasks": tasks}
+		}},
+		{"federation-4-clusters", func(b *testing.B, tr, _ *trace.Trace) map[string]float64 {
+			var res *sim.FedResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = sim.RunFederated(sim.FedConfig{
+					Trace:    tr,
+					Clusters: sim.DefaultFedClusters(4, 30),
+					Route:    federation.LeastSubscribed{},
+					Seed:     42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			return map[string]float64{
+				"gpuh_saved":       res.GPUHoursSaved(),
+				"cross_migrations": float64(res.CrossMigrations),
+			}
+		}},
+		{"federation-pooled-autoscale-6-clusters", func(b *testing.B, tr, _ *trace.Trace) map[string]float64 {
+			var res *sim.FedResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = sim.RunFederated(sim.FedConfig{
+					Trace:           tr,
+					Clusters:        sim.DefaultFedClusters(6, 30),
+					Route:           federation.LeastSubscribed{},
+					Latency:         federation.GeoBandedMatrix(6, 2, 5*time.Millisecond, 40*time.Millisecond),
+					PooledAutoscale: true,
+					Seed:            42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			return map[string]float64{
+				"gpuh_saved":  res.GPUHoursSaved(),
+				"final_hosts": float64(res.FinalHosts()),
+				"scale_ins":   float64(res.ScaleIns),
+			}
+		}},
+		{"summer-fed-10d-4clusters-2shards", func(b *testing.B, _, summer *trace.Trace) map[string]float64 {
+			var res *sim.FedResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = sim.RunFederatedSharded(sim.FedConfig{
+					Trace:           summer,
+					Clusters:        sim.DefaultFedClusters(4, 30),
+					Route:           federation.LeastSubscribed{},
+					PooledAutoscale: true,
+					Seed:            42,
+				}, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			remotePct := 0.0
+			if res.Tasks > 0 {
+				remotePct = float64(res.RemoteExecutions) / float64(res.Tasks) * 100
+			}
+			return map[string]float64{
+				"gpuh_saved":      res.GPUHoursSaved(),
+				"remote_exec_pct": remotePct,
+				"final_hosts":     float64(res.FinalHosts()),
+			}
+		}},
+	}
+}
+
+// Collect runs every scenario via testing.Benchmark and returns the full
+// report. The simulation metrics it records are deterministic; timings
+// are whatever this machine produced.
+func Collect() Report {
+	tr := quickTrace()
+	summer := quickSummerTrace()
+	rep := Report{GoVersion: runtime.Version(), GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU()}
+	for _, sc := range scenarios() {
+		var m map[string]float64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			m = sc.run(b, tr, summer)
+		})
+		rep.Scenarios = append(rep.Scenarios, Snapshot{
+			Name:        sc.name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Metrics:     m,
+		})
+	}
+	return rep
+}

@@ -18,6 +18,13 @@ type Options struct {
 	// Quick runs a reduced-scale version (shorter traces) for benchmarks
 	// and CI; full scale matches the paper (17.5 h excerpt, 92-day trace).
 	Quick bool
+	// Shards > 1 routes every policy simulation through sim.RunSharded
+	// (and summer-fed through sim.RunFederatedSharded): the trace splits
+	// into session-partitioned shards replayed by parallel worker
+	// simulations and merged deterministically. Shards <= 1 is the plain
+	// unsharded path, byte-identical to pre-sharding output. Ablation
+	// sweeps already fan out across configs and stay unsharded.
+	Shards int
 }
 
 func (o Options) seed() int64 {
@@ -25,6 +32,15 @@ func (o Options) seed() int64 {
 		return 42
 	}
 	return o.Seed
+}
+
+// shards normalizes the shard count: anything below 2 is the unsharded
+// path (sim.RunSharded with k<=1 is exactly sim.Run).
+func (o Options) shards() int {
+	if o.Shards < 2 {
+		return 1
+	}
+	return o.Shards
 }
 
 // Experiment regenerates one table or figure.
@@ -68,6 +84,7 @@ func All() []Experiment {
 		{"fed-policy", "Federation: route policy comparison", FederationPolicy},
 		{"fed-autoscale", "Federation: pooled vs per-member autoscaling", FederationAutoscale},
 		{"fed-matrix", "Federation: latency-matrix shape ablation", FederationMatrix},
+		{"summer-fed", "Federation: 90-day summer trace, federated", SummerFederation},
 	}
 }
 
@@ -161,6 +178,7 @@ type simKey struct {
 	policy sim.Policy
 	seed   int64
 	quick  bool
+	shards int
 }
 
 // simEntry is a singleflight cache slot: when figures run their policy
@@ -177,9 +195,12 @@ var (
 	simCache = map[simKey]*simEntry{}
 )
 
-// runSim runs (with caching) one policy over the named trace.
+// runSim runs (with caching) one policy over the named trace. With
+// Options.Shards > 1 the run goes through sim.RunSharded; the shard count
+// is part of the cache key because sharded results are a documented
+// approximation of the unsharded ones.
 func runSim(o Options, kind string, tr *trace.Trace, policy sim.Policy) (*sim.Result, error) {
-	key := simKey{kind, policy, o.seed(), o.Quick}
+	key := simKey{kind, policy, o.seed(), o.Quick, o.shards()}
 	simMu.Lock()
 	e, ok := simCache[key]
 	if !ok {
@@ -188,12 +209,12 @@ func runSim(o Options, kind string, tr *trace.Trace, policy sim.Policy) (*sim.Re
 	}
 	simMu.Unlock()
 	e.once.Do(func() {
-		e.res, e.err = sim.Run(sim.Config{
+		e.res, e.err = sim.RunSharded(sim.Config{
 			Trace:  tr,
 			Policy: policy,
 			Hosts:  30,
 			Seed:   o.seed(),
-		})
+		}, o.shards())
 	})
 	return e.res, e.err
 }

@@ -16,8 +16,11 @@ const fedTotalHosts = 30
 
 // parallelFedSims runs uncached federated simulations on parallel
 // goroutines, returning results in input order. Per-run seeds live in the
-// configs, so output is byte-identical to a sequential sweep.
-func parallelFedSims(cfgs []sim.FedConfig) ([]*sim.FedResult, error) {
+// configs, so output is byte-identical to a sequential sweep. shards > 1
+// additionally splits each run's trace across that many worker
+// federations (sim.RunFederatedSharded; shards <= 1 is exactly
+// sim.RunFederated).
+func parallelFedSims(cfgs []sim.FedConfig, shards int) ([]*sim.FedResult, error) {
 	results := make([]*sim.FedResult, len(cfgs))
 	errs := make([]error, len(cfgs))
 	var wg sync.WaitGroup
@@ -25,7 +28,7 @@ func parallelFedSims(cfgs []sim.FedConfig) ([]*sim.FedResult, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = sim.RunFederated(cfgs[i])
+			results[i], errs[i] = sim.RunFederatedSharded(cfgs[i], shards)
 		}(i)
 	}
 	wg.Wait()
@@ -59,7 +62,7 @@ func FederationScale(o Options) (string, error) {
 			Seed:     o.seed(),
 		}
 	}
-	results, err := parallelFedSims(cfgs)
+	results, err := parallelFedSims(cfgs, 1)
 	if err != nil {
 		return "", err
 	}
@@ -116,7 +119,7 @@ func FederationPenalty(o Options) (string, error) {
 			Seed:                o.seed(),
 		}
 	}
-	results, err := parallelFedSims(cfgs)
+	results, err := parallelFedSims(cfgs, 1)
 	if err != nil {
 		return "", err
 	}
@@ -156,7 +159,7 @@ func FederationPolicy(o Options) (string, error) {
 			Seed:                o.seed(),
 		}
 	}
-	results, err := parallelFedSims(cfgs)
+	results, err := parallelFedSims(cfgs, 1)
 	if err != nil {
 		return "", err
 	}

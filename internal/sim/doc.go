@@ -6,11 +6,21 @@
 // models calibrated against the live implementation and the paper's
 // reported distributions.
 //
-// Two entry points exist: Run simulates one policy against one cluster,
-// and RunFederated simulates the NotebookOS policy against a federation
-// of independently sized clusters (see internal/federation), routing
-// session placement and cross-cluster replica migration under a pluggable
-// federation route policy.
+// Entry points: Run simulates one policy against one cluster;
+// RunFederated simulates the NotebookOS policy against a federation of
+// independently sized clusters (see internal/federation), routing
+// session placement and cross-cluster replica migration under a
+// pluggable federation route policy; RunSharded (and its federated twin
+// RunFederatedSharded) splits a long trace into session-partitioned
+// shards via trace.Split, replays one worker simulation per shard on
+// parallel goroutines with ShardSeed-derived seeds, and merges the
+// results deterministically with MergeResults/MergeFedResults —
+// timelines through metrics.MergeTimelines, samples by concatenation,
+// counters by summation, always in shard-index order so output never
+// depends on worker completion order. Sharded runs approximate unsharded
+// ones (workers do not share cluster capacity); the saved-GPU-hour drift
+// bound is documented on RunSharded and pinned by
+// TestShardedSavingsDriftBound.
 //
 // Crossing-cost accounting in RunFederated: every federation boundary
 // crossing is charged from federation.Federation.Penalty — either the

@@ -1,0 +1,379 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+
+	"notebookos/internal/metrics"
+	"notebookos/internal/trace"
+)
+
+// ShardSeed derives the seed for shard index i from a run seed as
+// seed ^ splitmix64(i) — the one shared helper every sharded path
+// (RunSharded, RunFederatedSharded) uses, so sharded experiment output is
+// reproducible under any worker scheduling: the shard's randomness is a
+// pure function of (run seed, shard index), never of which goroutine ran
+// first. splitmix64 decorrelates consecutive indices; the raw XOR of a
+// small index would only flip low bits and keep the shards' rand streams
+// nearly in lockstep.
+func ShardSeed(seed int64, shard int) int64 {
+	return seed ^ int64(splitmix64(uint64(shard)))
+}
+
+// splitmix64 is the finalizer of Vigna's SplitMix64 generator — a cheap,
+// well-mixed 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// RunSharded partitions the config's trace into k session-partitioned
+// shards (trace.Split), runs one worker simulation per shard on parallel
+// goroutines, and merges the workers deterministically with MergeResults.
+// k <= 1 is exactly Run — byte-identical output, same seed.
+//
+// Capacity splits proportionally to each shard's reserved-GPU-hour weight
+// via trace.ProportionalShares: Hosts (floored at 1 per shard, so every
+// worker can place something), MinHosts (via floorShares, so every worker
+// keeps an explicit floor of at least 1 and never falls back to the
+// default), and ScalingBufferHosts (no floor; its zero is a real zero).
+// Worker i runs with ShardSeed(Seed, i).
+//
+// The approximation contract: shards do not share cluster capacity. A
+// worker saturates or autoscales on its own shard's load, so transient
+// peaks that the unsharded cluster absorbed with another shard's idle
+// GPUs instead trigger per-shard scale-outs, host-granularity rounding is
+// paid per shard, and a smaller worker cluster more often fails to place
+// R distinct replicas (synchronous scale-out). Merged saved-GPU-hours
+// therefore drift below the unsharded run; the contract, pinned by
+// TestShardedSavingsDriftBound on mid-size traces, bounds the drift at
+// 12 % of the trace's reserved GPU-hours at k=2 and 25 % at k=4 —
+// measured 7-8 % and 19-22 %. The drift grows with k and shrinks as
+// shards get larger, so prefer the smallest k that saturates the
+// machine. Interactivity and TCT distributions are unbiased by
+// construction: every task runs under the same policy code, just on a
+// proportionally smaller cluster.
+func RunSharded(cfg Config, shards int) (*Result, error) {
+	if shards <= 1 {
+		return Run(cfg)
+	}
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	// Each worker needs at least one real host: a zero share would read as
+	// "use the default" to the worker's own config defaulting and invent
+	// capacity. More shards than hosts cannot each hold a host, so clamp.
+	if shards > cfg.Hosts {
+		shards = cfg.Hosts
+	}
+	if shards <= 1 {
+		return Run(cfg) // Config defaulting is idempotent
+	}
+	parts := cfg.Trace.Split(shards)
+	weights := make([]float64, len(parts))
+	for i, p := range parts {
+		weights[i] = p.Weight
+	}
+	hosts := trace.ProportionalShares(weights, cfg.Hosts, 1)
+	// The floor split must leave no zero share: a worker's MinHosts=0 would
+	// read as "use the default" (4) and multiply the aggregate floor.
+	minHosts := floorShares(weights, cfg.MinHosts)
+	buffers := trace.ProportionalShares(weights, cfg.ScalingBufferHosts, 0)
+
+	results := make([]*Result, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i := range parts {
+		wcfg := cfg
+		wcfg.Trace = parts[i].Trace
+		wcfg.Hosts = hosts[i]
+		wcfg.MinHosts = minHosts[i]
+		wcfg.ScalingBufferHosts = buffers[i]
+		wcfg.Seed = ShardSeed(cfg.Seed, i)
+		wg.Add(1)
+		go func(i int, wcfg Config) {
+			defer wg.Done()
+			results[i], errs[i] = Run(wcfg)
+		}(i, wcfg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return MergeResults(results...), nil
+}
+
+// MergeResults combines per-shard worker results into one Result, in the
+// argument order and only the argument order — workers land in a slice
+// indexed by shard, so the merge is byte-identical regardless of which
+// worker finished first.
+//
+// Merge rules:
+//
+//   - Timelines merge pointwise with metrics.MergeTimelines, so the
+//     merged Timeline's Integral over any window equals the sum of the
+//     shard integrals (the MergeTimelines invariant). This is exact for
+//     extensive series (provisioned/committed GPUs, active sessions and
+//     trainings). SR is intensive — a ratio — so its merged series is the
+//     sum of per-shard ratios: useful as a saturation indicator, not a
+//     cluster-wide subscription ratio.
+//   - Samples (interactivity, TCT, per-step latencies, sync/read/write)
+//     concatenate; their quantiles are completion-order independent
+//     because Sample sorts on query.
+//   - Events merge by time with a stable sort, so equal-time events keep
+//     shard order.
+//   - Counters and integrated hours sum.
+func MergeResults(results ...*Result) *Result {
+	if len(results) == 0 {
+		return nil
+	}
+	out := &Result{
+		Policy:      results[0].Policy,
+		StepLatency: map[Step]*metrics.Sample{},
+	}
+	prov := make([]*metrics.Timeline, len(results))
+	comm := make([]*metrics.Timeline, len(results))
+	sess := make([]*metrics.Timeline, len(results))
+	train := make([]*metrics.Timeline, len(results))
+	srs := make([]*metrics.Timeline, len(results))
+	events := 0
+	for i, r := range results {
+		prov[i] = r.ProvisionedGPUs
+		comm[i] = r.CommittedGPUs
+		sess[i] = r.ActiveSessions
+		train[i] = r.ActiveTrainings
+		srs[i] = r.SR
+		events += len(r.Events)
+	}
+	out.ProvisionedGPUs = metrics.MergeTimelines(prov...)
+	out.CommittedGPUs = metrics.MergeTimelines(comm...)
+	out.ActiveSessions = metrics.MergeTimelines(sess...)
+	out.ActiveTrainings = metrics.MergeTimelines(train...)
+	out.SR = metrics.MergeTimelines(srs...)
+
+	out.Interactivity = mergeSamples(results, func(r *Result) *metrics.Sample { return r.Interactivity })
+	out.TCT = mergeSamples(results, func(r *Result) *metrics.Sample { return r.TCT })
+	out.SyncLatency = mergeSamples(results, func(r *Result) *metrics.Sample { return r.SyncLatency })
+	out.ReadLatency = mergeSamples(results, func(r *Result) *metrics.Sample { return r.ReadLatency })
+	out.WriteLatency = mergeSamples(results, func(r *Result) *metrics.Sample { return r.WriteLatency })
+	for _, st := range Steps() {
+		st := st
+		out.StepLatency[st] = mergeSamples(results, func(r *Result) *metrics.Sample { return r.StepLatency[st] })
+	}
+
+	out.Events = make([]Event, 0, events)
+	for _, r := range results {
+		out.Events = append(out.Events, r.Events...)
+	}
+	sort.SliceStable(out.Events, func(a, b int) bool {
+		return out.Events[a].Time.Before(out.Events[b].Time)
+	})
+
+	for _, r := range results {
+		out.Tasks += r.Tasks
+		out.ImmediateCommits += r.ImmediateCommits
+		out.ExecutorReuse += r.ExecutorReuse
+		out.Migrations += r.Migrations
+		out.FailedMigrations += r.FailedMigrations
+		out.ScaleOuts += r.ScaleOuts
+		out.ScaleIns += r.ScaleIns
+		out.ColdStarts += r.ColdStarts
+		out.WarmStarts += r.WarmStarts
+		out.ActiveGPUHours += r.ActiveGPUHours
+		out.StandbyReplicaHours += r.StandbyReplicaHours
+		out.ReservedGPUHours += r.ReservedGPUHours
+		out.ServerHours += r.ServerHours
+	}
+	return out
+}
+
+// mergeSamples concatenates one sample per result, skipping nils (a
+// shard's StepLatency map always covers Steps(), but be defensive).
+func mergeSamples(results []*Result, get func(*Result) *metrics.Sample) *metrics.Sample {
+	out := metrics.NewSample()
+	for _, r := range results {
+		if s := get(r); s != nil {
+			out.Add(s.Values()...)
+		}
+	}
+	return out
+}
+
+// RunFederatedSharded is RunSharded for the federated simulator: the
+// trace splits into k session-partitioned shards, each shard runs a full
+// federation whose member clusters carry a proportional slice of the
+// configured hosts (floored at 1 host per member per shard, so every
+// worker federation keeps the configured topology), and the per-shard
+// FedResults merge with MergeFedResults. Worker i runs with
+// ShardSeed(Seed, i); per-member MinHosts and the federation-wide
+// FedMinHosts floor — whether caller-set or defaulted by the parent
+// config — split proportionally across the shards like the hosts do
+// (floored at 1 per worker), so the configured scale-in policy survives
+// sharding. k <= 1 is exactly RunFederated. The RunSharded approximation
+// contract applies here per member: shard federations do not share
+// capacity.
+func RunFederatedSharded(cfg FedConfig, shards int) (*FedResult, error) {
+	if shards <= 1 {
+		return RunFederated(cfg)
+	}
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	// Every worker federation keeps the configured topology, so each
+	// member needs at least one host in every shard (a zero share would
+	// read as "use the default" to the worker's own config defaulting and
+	// invent capacity). The smallest member therefore bounds the shard
+	// count.
+	for _, spec := range cfg.Clusters {
+		if shards > spec.Hosts {
+			shards = spec.Hosts
+		}
+	}
+	if shards <= 1 {
+		// Re-entering RunFederated after withDefaults: restore the explicit
+		// no-penalty sentinel so the second defaulting pass keeps it zero.
+		if cfg.InterClusterPenalty == 0 {
+			cfg.InterClusterPenalty = NoInterClusterPenalty
+		}
+		return RunFederated(cfg)
+	}
+	parts := cfg.Trace.Split(shards)
+	weights := make([]float64, len(parts))
+	for i, p := range parts {
+		weights[i] = p.Weight
+	}
+	// memberHosts[m] / memberFloors[m] are member m's host count and
+	// scale-in floor split across the shards; fedFloors is the
+	// federation-wide floor's split. Floors keep at least 1 per worker: a
+	// zero would read as "use the default" to the worker's own config
+	// defaulting and silently replace the caller's (or the parent
+	// default's) floor policy.
+	memberHosts := make([][]int, len(cfg.Clusters))
+	memberFloors := make([][]int, len(cfg.Clusters))
+	for m, spec := range cfg.Clusters {
+		memberHosts[m] = trace.ProportionalShares(weights, spec.Hosts, 1)
+		memberFloors[m] = floorShares(weights, spec.MinHosts)
+	}
+	fedFloors := floorShares(weights, cfg.FedMinHosts)
+
+	results := make([]*FedResult, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i := range parts {
+		wcfg := cfg
+		wcfg.Trace = parts[i].Trace
+		wcfg.Clusters = make([]FedClusterSpec, len(cfg.Clusters))
+		for m, spec := range cfg.Clusters {
+			spec.Hosts = memberHosts[m][i]
+			spec.MinHosts = memberFloors[m][i]
+			wcfg.Clusters[m] = spec
+		}
+		wcfg.FedMinHosts = fedFloors[i]
+		if wcfg.InterClusterPenalty == 0 {
+			// The parent withDefaults normalized an explicit
+			// NoInterClusterPenalty to 0; keep it an explicit zero for the
+			// worker's own withDefaults pass instead of re-defaulting to 25ms.
+			wcfg.InterClusterPenalty = NoInterClusterPenalty
+		}
+		wcfg.Seed = ShardSeed(cfg.Seed, i)
+		wg.Add(1)
+		go func(i int, wcfg FedConfig) {
+			defer wg.Done()
+			results[i], errs[i] = RunFederated(wcfg)
+		}(i, wcfg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return MergeFedResults(results...), nil
+}
+
+// floorShares splits a scale-in floor across shard weights with every
+// share at least 1 (see the floor comment in RunFederatedSharded). The
+// workers' floors may sum to slightly more than the parent's when the
+// floor is smaller than the shard count — conservative: shards can only
+// drain less, never more, than the configured policy allows.
+func floorShares(weights []float64, floor int) []int {
+	shares := trace.ProportionalShares(weights, floor, 1)
+	for i, s := range shares {
+		if s < 1 {
+			shares[i] = 1
+		}
+	}
+	return shares
+}
+
+// MergeFedResults combines per-shard federated results in argument order,
+// under the same rules as MergeResults: timelines merge pointwise (both
+// federation-wide and per member cluster, matched by member index — every
+// shard federation has the same member list), samples concatenate,
+// counters and integrated hours sum. FinalHosts sums across shards: it is
+// the total live fleet the k worker federations ended with.
+func MergeFedResults(results ...*FedResult) *FedResult {
+	if len(results) == 0 {
+		return nil
+	}
+	out := &FedResult{}
+	members := len(results[0].Clusters)
+	for m := 0; m < members; m++ {
+		prov := make([]*metrics.Timeline, len(results))
+		comm := make([]*metrics.Timeline, len(results))
+		merged := &FedClusterResult{Name: results[0].Clusters[m].Name}
+		for i, r := range results {
+			c := r.Clusters[m]
+			prov[i] = c.ProvisionedGPUs
+			comm[i] = c.CommittedGPUs
+			merged.HomeSessions += c.HomeSessions
+			merged.PlacedSessions += c.PlacedSessions
+			merged.Tasks += c.Tasks
+			merged.MigrationsIn += c.MigrationsIn
+			merged.ScaleOuts += c.ScaleOuts
+			merged.ScaleIns += c.ScaleIns
+			merged.FinalHosts += c.FinalHosts
+		}
+		merged.ProvisionedGPUs = metrics.MergeTimelines(prov...)
+		merged.CommittedGPUs = metrics.MergeTimelines(comm...)
+		out.Clusters = append(out.Clusters, merged)
+	}
+
+	prov := make([]*metrics.Timeline, len(results))
+	comm := make([]*metrics.Timeline, len(results))
+	sess := make([]*metrics.Timeline, len(results))
+	for i, r := range results {
+		prov[i] = r.ProvisionedGPUs
+		comm[i] = r.CommittedGPUs
+		sess[i] = r.ActiveSessions
+	}
+	out.ProvisionedGPUs = metrics.MergeTimelines(prov...)
+	out.CommittedGPUs = metrics.MergeTimelines(comm...)
+	out.ActiveSessions = metrics.MergeTimelines(sess...)
+
+	out.Interactivity = metrics.NewSample()
+	out.TCT = metrics.NewSample()
+	for _, r := range results {
+		out.Interactivity.Add(r.Interactivity.Values()...)
+		out.TCT.Add(r.TCT.Values()...)
+		out.Tasks += r.Tasks
+		out.ImmediateCommits += r.ImmediateCommits
+		out.LocalPlacements += r.LocalPlacements
+		out.RemotePlacements += r.RemotePlacements
+		out.RemoteExecutions += r.RemoteExecutions
+		out.Migrations += r.Migrations
+		out.CrossMigrations += r.CrossMigrations
+		out.ScaleOuts += r.ScaleOuts
+		out.ScaleIns += r.ScaleIns
+		out.ColdStarts += r.ColdStarts
+		out.WarmStarts += r.WarmStarts
+		out.ActiveGPUHours += r.ActiveGPUHours
+		out.ProvisionedGPUHours += r.ProvisionedGPUHours
+		out.ReservedGPUHours += r.ReservedGPUHours
+	}
+	return out
+}

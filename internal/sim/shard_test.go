@@ -1,0 +1,428 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"notebookos/internal/federation"
+	"notebookos/internal/trace"
+)
+
+func shardQuickTrace(t testing.TB, seed int64) *trace.Trace {
+	t.Helper()
+	cfg := trace.AdobeExcerptConfig(seed)
+	cfg.Duration = 4 * time.Hour
+	return trace.MustGenerate(cfg)
+}
+
+// TestShardSeedHelper pins the shared seed-derivation helper: it is a
+// pure function of (seed, shard), distinct across shard indices, and
+// exactly the documented seed ^ splitmix64(index) formula.
+func TestShardSeedHelper(t *testing.T) {
+	seen := map[int64]int{}
+	for i := 0; i < 16; i++ {
+		s := ShardSeed(42, i)
+		if s2 := ShardSeed(42, i); s2 != s {
+			t.Fatalf("ShardSeed(42, %d) not stable: %d vs %d", i, s, s2)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("ShardSeed collision between shards %d and %d", prev, i)
+		}
+		seen[s] = i
+		if want := 42 ^ int64(splitmix64(uint64(i))); s != want {
+			t.Fatalf("ShardSeed(42, %d) = %d, want seed^splitmix64 = %d", i, s, want)
+		}
+	}
+}
+
+// deepEqualResults compares two Results beyond the counter fingerprint:
+// full delay/TCT sample values, event sequences, and timeline point
+// counts — the "byte-identical" bar sharded runs must clear.
+func deepEqualResults(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	tra, trb := a.TCT.Values(), b.TCT.Values()
+	if len(tra) != len(trb) {
+		t.Fatalf("%s: TCT sample sizes differ: %d vs %d", label, len(tra), len(trb))
+	}
+	for i := range tra {
+		if tra[i] != trb[i] {
+			t.Fatalf("%s: TCT value %d differs: %v vs %v", label, i, tra[i], trb[i])
+		}
+	}
+	da, db := a.Interactivity.Values(), b.Interactivity.Values()
+	if len(da) != len(db) {
+		t.Fatalf("%s: delay sample sizes differ: %d vs %d", label, len(da), len(db))
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("%s: delay value %d differs: %v vs %v", label, i, da[i], db[i])
+		}
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("%s: event counts differ: %d vs %d", label, len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if !a.Events[i].Time.Equal(b.Events[i].Time) || a.Events[i].Kind != b.Events[i].Kind {
+			t.Fatalf("%s: event %d differs: %+v vs %+v", label, i, a.Events[i], b.Events[i])
+		}
+	}
+	if a.ProvisionedGPUs.Len() != b.ProvisionedGPUs.Len() {
+		t.Fatalf("%s: provisioned timeline lengths differ: %d vs %d",
+			label, a.ProvisionedGPUs.Len(), b.ProvisionedGPUs.Len())
+	}
+}
+
+// TestRunShardedK1IsExactlyRun: the k<=1 sharded path is the plain Run —
+// identical fingerprints, samples, events, and timelines.
+func TestRunShardedK1IsExactlyRun(t *testing.T) {
+	tr := shardQuickTrace(t, 51)
+	for _, p := range []Policy{PolicyReservation, PolicyBatch, PolicyNotebookOS, PolicyLCP} {
+		cfg := Config{Trace: tr, Policy: p, Hosts: 30, Seed: 7}
+		plain, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded, err := RunSharded(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fa, fb := fingerprintOf(tr, plain), fingerprintOf(tr, sharded)
+		if fa != fb {
+			t.Errorf("%s: k=1 sharded diverged from Run:\n  run:     %+v\n  sharded: %+v", p, fa, fb)
+		}
+		deepEqualResults(t, string(p), plain, sharded)
+	}
+}
+
+// TestRunShardedDoubleRunByteIdentical: two k=4 sharded runs of the same
+// config are byte-identical regardless of worker goroutine scheduling.
+func TestRunShardedDoubleRunByteIdentical(t *testing.T) {
+	tr := shardQuickTrace(t, 52)
+	cfg := Config{Trace: tr, Policy: PolicyNotebookOS, Hosts: 30, Seed: 9}
+	a, err := RunSharded(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSharded(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := fingerprintOf(tr, a), fingerprintOf(tr, b)
+	if fa != fb {
+		t.Errorf("k=4 double run diverged:\n  run1: %+v\n  run2: %+v", fa, fb)
+	}
+	deepEqualResults(t, "k=4 double run", a, b)
+}
+
+// shardWorkerResults replays each shard of a split exactly the way
+// RunSharded does, returning the per-worker results for merge tests.
+func shardWorkerResults(t *testing.T, tr *trace.Trace, cfg Config, k int) []*Result {
+	t.Helper()
+	if err := cfg.withDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	parts := tr.Split(k)
+	weights := make([]float64, len(parts))
+	for i, p := range parts {
+		weights[i] = p.Weight
+	}
+	hosts := trace.ProportionalShares(weights, cfg.Hosts, 1)
+	minHosts := trace.ProportionalShares(weights, cfg.MinHosts, 1)
+	results := make([]*Result, len(parts))
+	for i := range parts {
+		wcfg := cfg
+		wcfg.Trace = parts[i].Trace
+		wcfg.Hosts = hosts[i]
+		wcfg.MinHosts = minHosts[i]
+		wcfg.Seed = ShardSeed(cfg.Seed, i)
+		res, err := Run(wcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+	}
+	return results
+}
+
+// TestMergeResultsIntegralEqualsShardSum pins the MergeResults timeline
+// invariant: the merged Timeline's Integral over the trace window equals
+// the sum of the per-shard integrals (up to float rounding), for every
+// merged series.
+func TestMergeResultsIntegralEqualsShardSum(t *testing.T) {
+	tr := shardQuickTrace(t, 53)
+	workers := shardWorkerResults(t, tr, Config{Trace: tr, Policy: PolicyNotebookOS, Hosts: 30, Seed: 11}, 4)
+	merged := MergeResults(workers...)
+
+	series := []struct {
+		name string
+		get  func(*Result) float64
+	}{
+		{"provisioned", func(r *Result) float64 { return r.ProvisionedGPUs.Integral(tr.Start, tr.End) }},
+		{"committed", func(r *Result) float64 { return r.CommittedGPUs.Integral(tr.Start, tr.End) }},
+		{"sessions", func(r *Result) float64 { return r.ActiveSessions.Integral(tr.Start, tr.End) }},
+		{"trainings", func(r *Result) float64 { return r.ActiveTrainings.Integral(tr.Start, tr.End) }},
+	}
+	for _, s := range series {
+		var sum float64
+		for _, w := range workers {
+			sum += s.get(w)
+		}
+		got := s.get(merged)
+		if diff := math.Abs(got - sum); diff > 1e-6*(1+math.Abs(sum)) {
+			t.Errorf("%s: merged integral %v != shard sum %v (diff %v)", s.name, got, sum, diff)
+		}
+	}
+	wantTasks := 0
+	for _, w := range workers {
+		wantTasks += w.Tasks
+	}
+	if merged.Tasks != wantTasks {
+		t.Errorf("merged tasks %d != shard sum %d", merged.Tasks, wantTasks)
+	}
+}
+
+// TestMergeResultsOrderIndependentQuantiles is the completion-order
+// property test: merging the same worker results in any order yields
+// exactly the same delay and TCT quantiles (samples are multisets — the
+// merge must not depend on which worker finished first).
+func TestMergeResultsOrderIndependentQuantiles(t *testing.T) {
+	tr := shardQuickTrace(t, 54)
+	workers := shardWorkerResults(t, tr, Config{Trace: tr, Policy: PolicyNotebookOS, Hosts: 30, Seed: 13}, 4)
+	ref := MergeResults(workers...)
+	quantiles := []float64{1, 25, 50, 75, 90, 99}
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(len(workers))
+		shuffled := make([]*Result, len(workers))
+		for i, j := range perm {
+			shuffled[i] = workers[j]
+		}
+		m := MergeResults(shuffled...)
+		for _, q := range quantiles {
+			if a, b := ref.Interactivity.Percentile(q), m.Interactivity.Percentile(q); a != b {
+				t.Fatalf("perm %v: delay p%g differs: %v vs %v", perm, q, a, b)
+			}
+			if a, b := ref.TCT.Percentile(q), m.TCT.Percentile(q); a != b {
+				t.Fatalf("perm %v: TCT p%g differs: %v vs %v", perm, q, a, b)
+			}
+		}
+		if m.Tasks != ref.Tasks || m.Migrations != ref.Migrations {
+			t.Fatalf("perm %v: counters differ", perm)
+		}
+		if a, b := ref.ProvisionedGPUs.Integral(tr.Start, tr.End), m.ProvisionedGPUs.Integral(tr.Start, tr.End); math.Abs(a-b) > 1e-6*(1+math.Abs(a)) {
+			t.Fatalf("perm %v: provisioned integral differs: %v vs %v", perm, a, b)
+		}
+	}
+}
+
+// TestShardedSavingsDriftBound quantifies the approximation contract on
+// mid-size traces (the full 17.5 h excerpt and, outside -short, the
+// 10-day summer prefix): because shards do not share cluster capacity —
+// each worker autoscales on its own shard's load, pays host-granularity
+// rounding alone, and scales out when its smaller cluster cannot place R
+// distinct replicas — sharded saved-GPU-hours drift below the unsharded
+// run. The contract pins the drift relative to the trace's reserved
+// GPU-hours: at most 12 % at k=2 and 25 % at k=4 (measured: 8.2 %/22.4 %
+// on the excerpt, 7.0 %/18.7 % on the 10-day summer, seed 42). The drift
+// grows with k and shrinks as shards get larger; tightening the capacity
+// split should only shrink it.
+func TestShardedSavingsDriftBound(t *testing.T) {
+	traces := []struct {
+		name string
+		tr   *trace.Trace
+	}{
+		{"excerpt-17.5h", trace.MustGenerate(trace.AdobeExcerptConfig(42))},
+	}
+	if !testing.Short() {
+		cfg := trace.AdobeSummerConfig(42)
+		cfg.Duration = 10 * 24 * time.Hour
+		traces = append(traces, struct {
+			name string
+			tr   *trace.Trace
+		}{"summer-10d", trace.MustGenerate(cfg)})
+	}
+	bounds := map[int]float64{2: 0.12, 4: 0.25}
+	for _, tc := range traces {
+		tr := tc.tr
+		cfg := Config{Trace: tr, Policy: PolicyNotebookOS, Hosts: 30, Seed: 42}
+		reserved := tr.ReservedGPUs().Integral(tr.Start, tr.End)
+		if reserved <= 0 {
+			t.Fatal("trace reserves no GPU-hours")
+		}
+		base, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseSaved := reserved - base.ProvisionedGPUs.Integral(tr.Start, tr.End)
+		for _, k := range []int{2, 4} {
+			res, err := RunSharded(cfg, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			saved := reserved - res.ProvisionedGPUs.Integral(tr.Start, tr.End)
+			drift := math.Abs(saved-baseSaved) / reserved
+			t.Logf("%s k=%d: saved %.1f vs unsharded %.1f (reserved %.1f) — drift %.2f%%",
+				tc.name, k, saved, baseSaved, reserved, drift*100)
+			if drift > bounds[k] {
+				t.Errorf("%s k=%d: sharded savings drift %.2f%% of reserved GPU-hours exceeds the %.0f%% contract",
+					tc.name, k, drift*100, bounds[k]*100)
+			}
+			if res.Tasks != base.Tasks {
+				t.Errorf("%s k=%d: sharding changed the task count: %d vs %d", tc.name, k, res.Tasks, base.Tasks)
+			}
+		}
+	}
+}
+
+// TestFederatedShardedDoubleRunByteIdentical: the sharded federated path
+// replays bit-for-bit, and its k<=1 form is exactly RunFederated.
+func TestFederatedShardedDoubleRunByteIdentical(t *testing.T) {
+	tr := shardQuickTrace(t, 55)
+	cfg := FedConfig{
+		Trace:           tr,
+		Clusters:        DefaultFedClusters(4, 30),
+		Route:           federation.LeastSubscribed{},
+		PooledAutoscale: true,
+		Seed:            17,
+	}
+	a, err := RunFederatedSharded(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFederatedSharded(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := fedFingerprintOf(tr, a), fedFingerprintOf(tr, b)
+	if fa != fb {
+		t.Errorf("sharded federated double run diverged:\n  run1: %+v\n  run2: %+v", fa, fb)
+	}
+
+	plain, err := RunFederated(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := RunFederatedSharded(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp, f1 := fedFingerprintOf(tr, plain), fedFingerprintOf(tr, one); fp != f1 {
+		t.Errorf("k=1 sharded federated diverged from RunFederated:\n  plain:   %+v\n  sharded: %+v", fp, f1)
+	}
+}
+
+// TestFloorSharesNeverZero: splitting a scale-in floor across shards
+// must leave no zero share — a worker's MinHosts=0 (or FedMinHosts=0)
+// would read as "use the default" and multiply the aggregate floor (the
+// k=8, MinHosts=4 case: four zero shares would each re-default to 4).
+func TestFloorSharesNeverZero(t *testing.T) {
+	equal8 := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	shares := floorShares(equal8, 4)
+	for i, s := range shares {
+		if s < 1 {
+			t.Errorf("floorShares(8 shards, floor 4)[%d] = %d, want >= 1", i, s)
+		}
+	}
+	sum := 0
+	for _, s := range floorShares([]float64{3, 2, 1}, 20) {
+		if s < 1 {
+			t.Error("floorShares share below 1")
+		}
+		sum += s
+	}
+	if sum != 20 {
+		t.Errorf("floorShares(3 shards, floor 20) sums to %d, want 20", sum)
+	}
+}
+
+// TestRunShardedClampsToHostCount: more shards than hosts cannot each
+// hold a host, so the shard count clamps — it must never let a zero host
+// share read as "use the default" and invent capacity.
+func TestRunShardedClampsToHostCount(t *testing.T) {
+	tr := shardQuickTrace(t, 57)
+	cfg := Config{Trace: tr, Policy: PolicyNotebookOS, Hosts: 3, Seed: 21}
+	over, err := RunSharded(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clamped, err := RunSharded(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa, fb := fingerprintOf(tr, over), fingerprintOf(tr, clamped); fa != fb {
+		t.Errorf("k=10 over 3 hosts should clamp to k=3:\n  over:    %+v\n  clamped: %+v", fa, fb)
+	}
+
+	// Federated: the smallest member of a 6-cluster split of 30 hosts has
+	// a single host, so any k>1 clamps all the way down to the plain run.
+	fcfg := FedConfig{
+		Trace:    tr,
+		Clusters: DefaultFedClusters(6, 30),
+		Route:    federation.LeastSubscribed{},
+		Seed:     21,
+	}
+	fOver, err := RunFederatedSharded(fcfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fPlain, err := RunFederated(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa, fb := fedFingerprintOf(tr, fOver), fedFingerprintOf(tr, fPlain); fa != fb {
+		t.Errorf("federated k=4 over a 1-host member should clamp to the plain run:\n  sharded: %+v\n  plain:   %+v", fa, fb)
+	}
+}
+
+// TestFederatedShardedPreservesExplicitFloor: a caller-set
+// federation-wide scale-in floor splits across the worker federations
+// instead of being silently replaced by the workers' default floors —
+// the merged fleet can never drain below the configured floor.
+func TestFederatedShardedPreservesExplicitFloor(t *testing.T) {
+	tr := shardQuickTrace(t, 58)
+	const floor = 20
+	res, err := RunFederatedSharded(FedConfig{
+		Trace:           tr,
+		Clusters:        DefaultFedClusters(4, 30),
+		Route:           federation.LeastSubscribed{},
+		PooledAutoscale: true,
+		FedMinHosts:     floor,
+		Seed:            23,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.FinalHosts(); got < floor {
+		t.Errorf("merged federation drained to %d hosts below the configured %d-host floor", got, floor)
+	}
+}
+
+// TestMergeFedResultsIntegralEqualsShardSum: the federated merge keeps
+// the MergeTimelines invariant federation-wide and per member cluster.
+func TestMergeFedResultsIntegralEqualsShardSum(t *testing.T) {
+	tr := shardQuickTrace(t, 56)
+	cfg := FedConfig{
+		Trace:    tr,
+		Clusters: DefaultFedClusters(3, 30),
+		Route:    federation.LeastSubscribed{},
+		Seed:     19,
+	}
+	merged, err := RunFederatedSharded(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perCluster float64
+	for _, c := range merged.Clusters {
+		perCluster += c.ProvisionedGPUs.Integral(tr.Start, tr.End)
+	}
+	fedWide := merged.ProvisionedGPUs.Integral(tr.Start, tr.End)
+	if math.Abs(perCluster-fedWide) > 1e-6*(1+math.Abs(fedWide)) {
+		t.Errorf("federation-wide provisioned integral %v != per-cluster sum %v", fedWide, perCluster)
+	}
+	if merged.ProvisionedGPUHours <= 0 {
+		t.Error("merged federated run provisioned nothing")
+	}
+}

@@ -9,4 +9,13 @@
 // p75 = 300 s, p90 = 17 min; per-session IAT p50 = 300 s, p75 = 480 s,
 // minimum 240 s). Every scheduling-relevant distribution the evaluation
 // depends on is therefore reproduced by construction; see DESIGN.md §2.
+//
+// For long traces, (*Trace).Split partitions the session set into
+// session-partitioned Shards — each session and its entire task chain
+// stays whole within one shard, shards keep the parent's full time
+// window, and assignment is a deterministic greedy balance on reserved
+// GPU-hours — so sim.RunSharded can replay one worker simulation per
+// shard in parallel and merge the results. ProportionalShares carries
+// the documented largest-remainder rounding rules for splitting integer
+// capacity (hosts) across shard weights.
 package trace

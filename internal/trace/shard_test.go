@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func shardTestTrace(t *testing.T, seed int64) *Trace {
+	t.Helper()
+	cfg := AdobeExcerptConfig(seed)
+	cfg.Duration = 4 * time.Hour
+	return MustGenerate(cfg)
+}
+
+// TestSplitPartitionsSessionsExactly: the shards' session sets form an
+// exact partition of the parent's — every session appears in exactly one
+// shard, nothing is invented, and within a shard sessions keep their
+// original relative order.
+func TestSplitPartitionsSessionsExactly(t *testing.T) {
+	tr := shardTestTrace(t, 42)
+	for _, k := range []int{1, 2, 3, 4, 7} {
+		shards := tr.Split(k)
+		if len(shards) != k {
+			t.Fatalf("Split(%d) returned %d shards", k, len(shards))
+		}
+		seen := map[string]int{}
+		total := 0
+		for i, sh := range shards {
+			if sh.Index != i || sh.Count != k {
+				t.Errorf("k=%d shard %d: Index=%d Count=%d", k, i, sh.Index, sh.Count)
+			}
+			if !sh.Trace.Start.Equal(tr.Start) || !sh.Trace.End.Equal(tr.End) {
+				t.Errorf("k=%d shard %d window %v-%v != parent %v-%v",
+					k, i, sh.Trace.Start, sh.Trace.End, tr.Start, tr.End)
+			}
+			lastIdx := -1
+			for _, s := range sh.Trace.Sessions {
+				if prev, dup := seen[s.ID]; dup {
+					t.Fatalf("k=%d: session %s in shards %d and %d", k, s.ID, prev, i)
+				}
+				seen[s.ID] = i
+				total++
+				// Original relative order: find the session's index in the
+				// parent and assert it increases within the shard.
+				idx := -1
+				for j, ps := range tr.Sessions {
+					if ps == s {
+						idx = j
+						break
+					}
+				}
+				if idx < 0 {
+					t.Fatalf("k=%d: shard %d holds session %s not in parent", k, i, s.ID)
+				}
+				if idx <= lastIdx {
+					t.Errorf("k=%d shard %d: sessions out of trace order", k, i)
+				}
+				lastIdx = idx
+			}
+		}
+		if total != len(tr.Sessions) {
+			t.Errorf("k=%d: shards hold %d sessions, parent has %d", k, total, len(tr.Sessions))
+		}
+	}
+}
+
+// TestSplitNeverCutsTaskChains: a shard session IS the parent session
+// (shared pointer, traces are read-only), so its task chain is exactly
+// the parent's — no task is dropped, duplicated, or moved to a different
+// shard than its session.
+func TestSplitNeverCutsTaskChains(t *testing.T) {
+	tr := shardTestTrace(t, 43)
+	byID := map[string]*Session{}
+	for _, s := range tr.Sessions {
+		byID[s.ID] = s
+	}
+	shards := tr.Split(4)
+	tasks := 0
+	for _, sh := range shards {
+		for _, s := range sh.Trace.Sessions {
+			orig := byID[s.ID]
+			if s != orig {
+				t.Fatalf("shard session %s is a copy, not the parent session", s.ID)
+			}
+			if len(s.Tasks) != len(orig.Tasks) {
+				t.Fatalf("session %s task chain cut: %d vs %d tasks", s.ID, len(s.Tasks), len(orig.Tasks))
+			}
+			tasks += len(s.Tasks)
+		}
+		if err := sh.Trace.Validate(); err != nil {
+			t.Fatalf("shard %d invalid: %v", sh.Index, err)
+		}
+	}
+	if tasks != tr.NumTasks() {
+		t.Errorf("shards hold %d tasks, parent has %d", tasks, tr.NumTasks())
+	}
+}
+
+// TestSplitWeightsAndBalance: weights sum to 1 and the greedy assignment
+// keeps shard loads near-equal (no shard more than twice the ideal share
+// on a real trace).
+func TestSplitWeightsAndBalance(t *testing.T) {
+	tr := shardTestTrace(t, 44)
+	shards := tr.Split(4)
+	var sum float64
+	for _, sh := range shards {
+		sum += sh.Weight
+		if sh.Weight < 0 || sh.Weight > 1 {
+			t.Errorf("shard %d weight %v out of range", sh.Index, sh.Weight)
+		}
+		if sh.Weight > 2.0/float64(len(shards)) {
+			t.Errorf("shard %d weight %v exceeds twice the ideal share", sh.Index, sh.Weight)
+		}
+	}
+	if sum < 0.999999 || sum > 1.000001 {
+		t.Errorf("weights sum to %v, want 1", sum)
+	}
+}
+
+// TestSplitDeterministic: two splits of the same trace are identical.
+func TestSplitDeterministic(t *testing.T) {
+	tr := shardTestTrace(t, 45)
+	a, b := tr.Split(3), tr.Split(3)
+	for i := range a {
+		if len(a[i].Trace.Sessions) != len(b[i].Trace.Sessions) {
+			t.Fatalf("shard %d: %d vs %d sessions", i, len(a[i].Trace.Sessions), len(b[i].Trace.Sessions))
+		}
+		for j := range a[i].Trace.Sessions {
+			if a[i].Trace.Sessions[j] != b[i].Trace.Sessions[j] {
+				t.Fatalf("shard %d session %d differs between splits", i, j)
+			}
+		}
+	}
+}
+
+func TestProportionalShares(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []float64
+		total   int
+		min     int
+		want    []int
+	}{
+		{"equal", []float64{1, 1, 1}, 30, 1, []int{10, 10, 10}},
+		{"largest-remainder", []float64{1, 1, 1}, 10, 0, []int{4, 3, 3}},
+		{"proportional", []float64{3, 1}, 8, 1, []int{6, 2}},
+		{"min-floor", []float64{100, 1e-9}, 10, 1, []int{9, 1}},
+		{"zero-weights-fall-back-equal", []float64{0, 0}, 4, 1, []int{2, 2}},
+		{"unsatisfiable-floor", []float64{1, 1, 1}, 2, 1, []int{1, 1, 0}},
+		{"zero-total", []float64{1, 2}, 0, 0, []int{0, 0}},
+	}
+	for _, c := range cases {
+		got := ProportionalShares(c.weights, c.total, c.min)
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: got %v", c.name, got)
+		}
+		sum := 0
+		for i := range got {
+			sum += got[i]
+			if got[i] != c.want[i] {
+				t.Errorf("%s: ProportionalShares(%v, %d, %d) = %v, want %v",
+					c.name, c.weights, c.total, c.min, got, c.want)
+				break
+			}
+		}
+		if c.total >= 0 && sum != c.total {
+			t.Errorf("%s: shares %v sum to %d, want %d", c.name, got, sum, c.total)
+		}
+	}
+}
