@@ -82,8 +82,10 @@ func main() {
 		failures = append(failures, fmt.Sprintf(format, args...))
 	}
 
-	// Informational timing delta table (never gates).
-	fmt.Printf("%-42s %14s %14s %10s %12s\n", "scenario (timing, informational)", "base ns/op", "new ns/op", "Δns%", "Δallocs")
+	// Informational timing/memory delta table (never gates).
+	fmt.Printf("%-42s %14s %14s %10s %14s %14s %10s %12s\n",
+		"scenario (timing, informational)", "base ns/op", "new ns/op", "Δns%",
+		"base B/op", "new B/op", "ΔB%", "Δallocs")
 	for _, bs := range baseline.Scenarios {
 		fs, ok := fresh.Scenario(bs.Name)
 		if !ok {
@@ -93,8 +95,13 @@ func main() {
 		if bs.NsPerOp > 0 {
 			dns = (float64(fs.NsPerOp)/float64(bs.NsPerOp) - 1) * 100
 		}
-		fmt.Printf("%-42s %14d %14d %9.1f%% %12d\n",
-			bs.Name, bs.NsPerOp, fs.NsPerOp, dns, fs.AllocsPerOp-bs.AllocsPerOp)
+		db := 0.0
+		if bs.BytesPerOp > 0 {
+			db = (float64(fs.BytesPerOp)/float64(bs.BytesPerOp) - 1) * 100
+		}
+		fmt.Printf("%-42s %14d %14d %9.1f%% %14d %14d %9.1f%% %12d\n",
+			bs.Name, bs.NsPerOp, fs.NsPerOp, dns,
+			bs.BytesPerOp, fs.BytesPerOp, db, fs.AllocsPerOp-bs.AllocsPerOp)
 	}
 	fmt.Println()
 

@@ -178,6 +178,25 @@ func scenarios() []scenario {
 				"scale_ins":   float64(res.ScaleIns),
 			}
 		}},
+		// summer-10d-quick is the memory-focused scenario: one sharded
+		// single-cluster pass over the 10-day summer trace, the workload
+		// whose bytes/op and allocs/op the columnar metrics engine and the
+		// allocation-lean merges are sized against. Its deterministic
+		// metrics gate like any other scenario; its B/op column is the
+		// first place a metrics-layer allocation regression shows up.
+		{"summer-10d-quick", func(b *testing.B, _, summer *trace.Trace) map[string]float64 {
+			var saved, tasks float64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunSharded(sim.Config{Trace: summer, Policy: sim.PolicyNotebookOS, Hosts: 30, Seed: 42}, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reserved := summer.ReservedGPUs().Integral(summer.Start, summer.End)
+				saved = reserved - res.ProvisionedGPUs.Integral(summer.Start, summer.End)
+				tasks = float64(res.Tasks)
+			}
+			return map[string]float64{"gpuh_saved": saved, "tasks": tasks}
+		}},
 		{"summer-fed-10d-4clusters-2shards", func(b *testing.B, _, summer *trace.Trace) map[string]float64 {
 			var res *sim.FedResult
 			for i := 0; i < b.N; i++ {

@@ -54,8 +54,13 @@ type Engine struct {
 	// free recycles events scheduled through Schedule/Defer, which hand
 	// out no handle and therefore cannot be retained or cancelled by the
 	// caller. The simulator's hot path schedules hundreds of thousands of
-	// such fire-and-forget events per run.
+	// such fire-and-forget events per run. When the list runs dry it is
+	// refilled from a freshly allocated block (geometrically growing, see
+	// blockSize) rather than one Event at a time, so a long run costs
+	// O(log peak) event allocations instead of O(peak).
 	free []*Event
+	// blockSize is the size of the next arena block handed to free.
+	blockSize int
 }
 
 // New returns an engine whose clock starts at start.
@@ -65,6 +70,50 @@ func New(start time.Time) *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Time { return e.now }
+
+// Reserve pre-sizes the engine for an expected peak of n pending events:
+// the heap gets capacity n and the pooled-event arena is pre-filled to n
+// events in a single block. Simulations that schedule a whole trace up
+// front (one event per session boundary and task arrival) call it once, so
+// neither the heap nor the arena pays a geometric growth ladder.
+func (e *Engine) Reserve(n int) {
+	if cap(e.pq) < n {
+		pq := make(eventHeap, len(e.pq), n)
+		copy(pq, e.pq)
+		e.pq = pq
+	}
+	if extra := n - len(e.free); extra > 0 {
+		block := make([]Event, extra)
+		if cap(e.free) < n {
+			free := make([]*Event, len(e.free), n)
+			copy(free, e.free)
+			e.free = free
+		}
+		for i := range block {
+			block[i].eng = e
+			e.free = append(e.free, &block[i])
+		}
+	}
+}
+
+// refill hands a new arena block to the free list. Pooled events never
+// outlive the engine, so block backing arrays are simply retained until
+// the engine itself is collected.
+func (e *Engine) refill() {
+	if e.blockSize < 64 {
+		e.blockSize = 64
+	} else if e.blockSize < 8192 {
+		e.blockSize *= 2
+	}
+	block := make([]Event, e.blockSize)
+	if cap(e.free) < e.blockSize {
+		e.free = make([]*Event, 0, e.blockSize)
+	}
+	for i := range block {
+		block[i].eng = e
+		e.free = append(e.free, &block[i])
+	}
+}
 
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() int64 { return e.steps }
@@ -99,15 +148,14 @@ func (e *Engine) Schedule(t time.Time, fn Handler) {
 		t = e.now
 	}
 	e.seq++
-	var ev *Event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-		ev.at, ev.atns, ev.seq, ev.fn, ev.canceled = t, t.UnixNano(), e.seq, fn, false
-	} else {
-		ev = &Event{at: t, atns: t.UnixNano(), seq: e.seq, fn: fn, eng: e}
+	if len(e.free) == 0 {
+		e.refill()
 	}
+	n := len(e.free) - 1
+	ev := e.free[n]
+	e.free[n] = nil
+	e.free = e.free[:n]
+	ev.at, ev.atns, ev.seq, ev.fn, ev.canceled = t, t.UnixNano(), e.seq, fn, false
 	ev.pooled = true
 	e.push(ev)
 }

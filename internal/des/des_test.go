@@ -252,3 +252,61 @@ func TestCancelInterleavedWithPooled(t *testing.T) {
 		t.Fatalf("Len = %d after run", e.Len())
 	}
 }
+
+// TestReservePreservesBehavior: Reserve is a pure capacity hint — firing
+// order, Len, and recycling are unchanged whether or not (and whenever)
+// it is called, and reserved engines run identically to unreserved ones.
+func TestReservePreservesBehavior(t *testing.T) {
+	run := func(reserve bool) []int {
+		e := New(t0)
+		if reserve {
+			e.Reserve(128)
+		}
+		var order []int
+		for i := 0; i < 60; i++ {
+			i := i
+			e.Defer(time.Duration((i*104729)%50)*time.Millisecond, func() {
+				order = append(order, i)
+			})
+		}
+		if reserve {
+			e.Reserve(16) // shrinking hints are no-ops
+		}
+		e.Run()
+		return order
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestArenaPooledEventsRecycle: far more Schedule calls than the peak
+// pending count must not grow allocations linearly — fired events return
+// to the arena-backed free list and are reused.
+func TestArenaPooledEventsRecycle(t *testing.T) {
+	e := New(t0)
+	fired := 0
+	var chain func()
+	chain = func() {
+		fired++
+		if fired < 10000 {
+			e.Defer(time.Millisecond, chain)
+		}
+	}
+	e.Defer(0, chain)
+	e.Run()
+	if fired != 10000 {
+		t.Fatalf("fired = %d", fired)
+	}
+	// Peak pending was 1, so the free list must have stayed at the first
+	// arena block's size rather than growing with the 10k schedules.
+	if len(e.free) > 64 {
+		t.Fatalf("free list grew to %d; pooled events are not recycling", len(e.free))
+	}
+}

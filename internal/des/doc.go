@@ -20,5 +20,9 @@
 // Internally the ready queue is a hand-rolled 4-ary heap keyed by an
 // int64-nanosecond (time, sequence) pair; Cancel reaps via a maintained
 // heap index, and no-handle Schedule/Defer recycle event allocations from
-// a pool.
+// a pool refilled in geometrically growing arena blocks (O(log peak)
+// allocations for any pending-event peak). Engine.Reserve pre-sizes both
+// the heap and the arena from a caller's peak hint — simulations that
+// schedule a whole trace up front pass one event per session boundary and
+// task arrival.
 package des

@@ -20,7 +20,7 @@ func AblationReplicas(o Options) (string, error) {
 			ReplicasPerKernel: r, Seed: o.seed(),
 		}
 	}
-	results, err := parallelSims(cfgs)
+	results, err := parallelSims(o, cfgs)
 	if err != nil {
 		return "", err
 	}
@@ -53,7 +53,7 @@ func AblationSR(o Options) (string, error) {
 			SRHighWatermark: wm, Seed: o.seed(),
 		}
 	}
-	results, err := parallelSims(cfgs)
+	results, err := parallelSims(o, cfgs)
 	if err != nil {
 		return "", err
 	}
@@ -81,7 +81,7 @@ func AblationScaleFactor(o Options) (string, error) {
 			ScaleFactor: f, Seed: o.seed(),
 		}
 	}
-	results, err := parallelSims(cfgs)
+	results, err := parallelSims(o, cfgs)
 	if err != nil {
 		return "", err
 	}
@@ -110,7 +110,7 @@ func AblationPrewarm(o Options) (string, error) {
 			PrewarmPerHost: pool, Seed: o.seed(),
 		}
 	}
-	results, err := parallelSims(cfgs)
+	results, err := parallelSims(o, cfgs)
 	if err != nil {
 		return "", err
 	}

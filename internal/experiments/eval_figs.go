@@ -136,9 +136,10 @@ func Fig10(o Options) (string, error) {
 	for i := 0; i < 8; i++ {
 		lo := tr.Start.Add(bucket * time.Duration(i))
 		hi := lo.Add(bucket)
+		loNS, hiNS := lo.UnixNano(), hi.UnixNano()
 		var c, m, s int
 		for _, e := range nbos.Events {
-			if e.Time.Before(lo) || !e.Time.Before(hi) {
+			if e.T < loNS || e.T >= hiNS {
 				continue
 			}
 			switch string(e.Kind) {

@@ -19,11 +19,14 @@ type Options struct {
 	// and CI; full scale matches the paper (17.5 h excerpt, 92-day trace).
 	Quick bool
 	// Shards > 1 routes every policy simulation through sim.RunSharded
-	// (and summer-fed through sim.RunFederatedSharded): the trace splits
-	// into session-partitioned shards replayed by parallel worker
-	// simulations and merged deterministically. Shards <= 1 is the plain
-	// unsharded path, byte-identical to pre-sharding output. Ablation
-	// sweeps already fan out across configs and stay unsharded.
+	// (and the federated experiments through sim.RunFederatedSharded): the
+	// trace splits into session-partitioned shards replayed by parallel
+	// worker simulations and merged deterministically. This includes the
+	// ablation and federation sweeps, which shard each point of their
+	// parameter grid (sweeps whose cluster topology cannot hold a shard per
+	// member clamp back toward the unsharded path automatically). Shards
+	// <= 1 is the plain unsharded path, byte-identical to pre-sharding
+	// output.
 	Shards int
 }
 
@@ -245,7 +248,11 @@ func runSims(o Options, kind string, tr *trace.Trace, policies ...sim.Policy) ([
 // parallelSims runs uncached per-config simulations (ablation sweeps) on
 // parallel goroutines, returning results in input order. Per-run seeds
 // live in the configs, so output is byte-identical to a sequential sweep.
-func parallelSims(cfgs []sim.Config) ([]*sim.Result, error) {
+// With Options.Shards > 1 every sweep point additionally splits its trace
+// across that many worker simulations (sim.RunSharded; shards <= 1 is
+// exactly sim.Run).
+func parallelSims(o Options, cfgs []sim.Config) ([]*sim.Result, error) {
+	shards := o.shards()
 	results := make([]*sim.Result, len(cfgs))
 	errs := make([]error, len(cfgs))
 	var wg sync.WaitGroup
@@ -253,7 +260,7 @@ func parallelSims(cfgs []sim.Config) ([]*sim.Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = sim.Run(cfgs[i])
+			results[i], errs[i] = sim.RunSharded(cfgs[i], shards)
 		}(i)
 	}
 	wg.Wait()

@@ -26,6 +26,37 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	}
 }
 
+// TestShardedSweepsDeterministic pins the newly wired -shards path for
+// sweep-style experiments: an ablation sweep and a federation sweep both
+// run sharded, and a double run is byte-identical (the shard merge is
+// completion-order independent).
+func TestShardedSweepsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded sweep double-runs are slow under -short")
+	}
+	o := Options{Seed: 42, Quick: true, Shards: 2}
+	for _, id := range []string{"ablation-f", "fed-scale"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		a, err := e.Run(o)
+		if err != nil {
+			t.Fatalf("%s sharded: %v", id, err)
+		}
+		b, err := e.Run(o)
+		if err != nil {
+			t.Fatalf("%s sharded rerun: %v", id, err)
+		}
+		if a != b {
+			t.Errorf("%s sharded double run diverged:\n--- run1\n%s\n--- run2\n%s", id, a, b)
+		}
+		if len(a) < 100 {
+			t.Errorf("%s sharded output suspiciously short: %q", id, a)
+		}
+	}
+}
+
 func firstLine(s string) string {
 	if i := strings.IndexByte(s, '\n'); i >= 0 {
 		return s[:i]

@@ -62,7 +62,7 @@ func FederationScale(o Options) (string, error) {
 			Seed:     o.seed(),
 		}
 	}
-	results, err := parallelFedSims(cfgs, 1)
+	results, err := parallelFedSims(cfgs, o.shards())
 	if err != nil {
 		return "", err
 	}
@@ -119,7 +119,7 @@ func FederationPenalty(o Options) (string, error) {
 			Seed:                o.seed(),
 		}
 	}
-	results, err := parallelFedSims(cfgs, 1)
+	results, err := parallelFedSims(cfgs, o.shards())
 	if err != nil {
 		return "", err
 	}
@@ -159,7 +159,7 @@ func FederationPolicy(o Options) (string, error) {
 			Seed:                o.seed(),
 		}
 	}
-	results, err := parallelFedSims(cfgs, 1)
+	results, err := parallelFedSims(cfgs, o.shards())
 	if err != nil {
 		return "", err
 	}

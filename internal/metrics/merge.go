@@ -1,6 +1,39 @@
 package metrics
 
-import "sort"
+// MergeSorted k-way merges individually sorted runs onto dst (appended in
+// place and returned), picking the least head under less at each step with
+// ties resolved toward the earliest run — exactly the order a
+// concatenate-then-stable-sort would produce. It is the one merge loop
+// shared by every sorted-run combiner (MergeSamples here, the sharded
+// event merge in internal/sim), so their tie-handling can never diverge.
+// The linear scan over run heads is deliberate: run counts are shard or
+// member counts (single digits), where a scan beats a heap.
+func MergeSorted[E any](dst []E, less func(a, b E) bool, runs ...[]E) []E {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	if cap(dst)-len(dst) < total {
+		grown := make([]E, len(dst), len(dst)+total)
+		copy(grown, dst)
+		dst = grown
+	}
+	pos := make([]int, len(runs))
+	for emitted := 0; emitted < total; emitted++ {
+		best := -1
+		for i, r := range runs {
+			if pos[i] >= len(r) {
+				continue
+			}
+			if best < 0 || less(r[pos[i]], runs[best][pos[best]]) {
+				best = i
+			}
+		}
+		dst = append(dst, runs[best][pos[best]])
+		pos[best]++
+	}
+	return dst
+}
 
 // MergeTimelines returns the pointwise sum of the given step functions:
 // the merged value at any instant equals the sum of the inputs' values at
@@ -10,9 +43,16 @@ import "sort"
 // Because integration is linear, the merged timeline's Integral over any
 // window equals the sum of the inputs' Integrals over that window (up to
 // floating-point rounding) — the property the federated metrics tests pin.
+//
+// Each input's points are already time-sorted (Timeline.Set enforces
+// non-decreasing times), so the merge is a zero-intermediate k-way sweep:
+// no per-point index records, no sort — just one cursor per input and an
+// output pre-sized to the exact total. Ties pick the lowest input index,
+// matching the stable sort the previous implementation used; coincident
+// timestamps collapse into one point (last write wins), so the result is
+// bit-identical to the concat-and-stable-sort path it replaces.
 func MergeTimelines(tls ...*Timeline) *Timeline {
 	out := NewTimeline()
-	// Gather every breakpoint across the inputs.
 	total := 0
 	for _, tl := range tls {
 		if tl != nil {
@@ -22,33 +62,36 @@ func MergeTimelines(tls ...*Timeline) *Timeline {
 	if total == 0 {
 		return out
 	}
-	type point struct {
-		idx int // which timeline
-		pos int // which point within it
-	}
-	pts := make([]point, 0, total)
-	for i, tl := range tls {
-		if tl == nil {
+	out.times = make([]int64, 0, total)
+	out.values = make([]float64, 0, total)
+	// Sweep: track each input's current value; at every breakpoint (in
+	// global time order) emit the running sum, collapsing same-timestamp
+	// writes the way Timeline.Set does.
+	cur := make([]float64, len(tls))
+	pos := make([]int, len(tls))
+	sum := 0.0
+	for emitted := 0; emitted < total; emitted++ {
+		best := -1
+		var bt int64
+		for i, tl := range tls {
+			if tl == nil || pos[i] >= len(tl.times) {
+				continue
+			}
+			if t := tl.times[pos[i]]; best < 0 || t < bt {
+				best, bt = i, t
+			}
+		}
+		tl := tls[best]
+		v := tl.values[pos[best]]
+		pos[best]++
+		sum += v - cur[best]
+		cur[best] = v
+		if n := len(out.times); n > 0 && out.times[n-1] == bt {
+			out.values[n-1] = sum
 			continue
 		}
-		for j := range tl.times {
-			pts = append(pts, point{i, j})
-		}
-	}
-	// Sort breakpoints by time; ties keep input order, which is irrelevant
-	// to the result because coincident points collapse into one Set below.
-	sort.SliceStable(pts, func(a, b int) bool {
-		return tls[pts[a].idx].times[pts[a].pos].Before(tls[pts[b].idx].times[pts[b].pos])
-	})
-	// Sweep: track each input's current value; at every breakpoint emit
-	// the sum. Timeline.Set collapses same-timestamp writes.
-	cur := make([]float64, len(tls))
-	sum := 0.0
-	for _, p := range pts {
-		tl := tls[p.idx]
-		sum += tl.values[p.pos] - cur[p.idx]
-		cur[p.idx] = tl.values[p.pos]
-		out.Set(tl.times[p.pos], sum)
+		out.times = append(out.times, bt)
+		out.values = append(out.values, sum)
 	}
 	return out
 }

@@ -104,6 +104,71 @@ func TestSummaryAndTable(t *testing.T) {
 	}
 }
 
+// TestMergeSamplesMatchesConcat pins the sortedness-preservation contract:
+// a k-way merge of sorted shard samples answers every query exactly like
+// the concatenation of the raw observations.
+func TestMergeSamplesMatchesConcat(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(5)
+		parts := make([]*Sample, 0, k+1)
+		concat := NewSample()
+		for i := 0; i < k; i++ {
+			if r.Intn(5) == 0 {
+				parts = append(parts, nil) // nil inputs must be harmless
+				continue
+			}
+			s := NewSample()
+			for j := r.Intn(200); j > 0; j-- {
+				x := math.Floor(r.ExpFloat64()*1e5) / 16
+				s.Add(x)
+				concat.Add(x)
+			}
+			parts = append(parts, s)
+		}
+		m := MergeSamples(parts...)
+		if m.N() != concat.N() {
+			t.Fatalf("seed %d: N = %d, want %d", seed, m.N(), concat.N())
+		}
+		if m.N() == 0 {
+			if !math.IsNaN(m.Min()) || !math.IsNaN(m.Max()) || !math.IsNaN(m.Percentile(50)) {
+				t.Fatalf("seed %d: empty merge must answer NaN", seed)
+			}
+			continue
+		}
+		for _, p := range []float64{0, 12.5, 50, 90, 99, 100} {
+			if got, want := m.Percentile(p), concat.Percentile(p); got != want {
+				t.Fatalf("seed %d: p%v = %v, want %v", seed, p, got, want)
+			}
+		}
+		if m.Min() != concat.Min() || m.Max() != concat.Max() {
+			t.Fatalf("seed %d: min/max %v/%v, want %v/%v",
+				seed, m.Min(), m.Max(), concat.Min(), concat.Max())
+		}
+	}
+}
+
+// TestSampleIncrementalMinMax checks Min/Max against a sorted copy after
+// every insertion order, including negatives and duplicates, without ever
+// triggering the lazy sort.
+func TestSampleIncrementalMinMax(t *testing.T) {
+	s := NewSample()
+	vals := []float64{3, -1, 7, -1, 7, 0}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		s.Add(v)
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+		if s.Min() != lo || s.Max() != hi {
+			t.Fatalf("after Add(%v): Min/Max = %v/%v, want %v/%v", v, s.Min(), s.Max(), lo, hi)
+		}
+	}
+	s.Grow(100)
+	if s.N() != len(vals) || s.Min() != -1 || s.Max() != 7 {
+		t.Fatalf("Grow changed observable state: n=%d min=%v max=%v", s.N(), s.Min(), s.Max())
+	}
+}
+
 var tz = time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
 
 func TestTimelineAtAndIntegral(t *testing.T) {

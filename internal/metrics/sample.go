@@ -10,9 +10,16 @@ import (
 // Sample accumulates float64 observations and answers percentile and CDF
 // queries. It is not safe for concurrent use; each goroutine should own its
 // own Sample or callers must synchronize.
+//
+// Min and max are tracked incrementally on Add, so reading an extremum
+// never forces the O(n log n) sort that percentile queries need. Order
+// statistics still sort lazily, once, on first query; a Sample produced by
+// MergeSamples is born sorted and never pays that sort at all.
 type Sample struct {
 	xs     []float64
 	sorted bool
+	min    float64
+	max    float64
 }
 
 // NewSample returns an empty sample, optionally seeded with xs.
@@ -22,8 +29,37 @@ func NewSample(xs ...float64) *Sample {
 	return s
 }
 
+// Grow ensures capacity for at least n additional observations without
+// reallocating — the pre-size hint simulations derive from their trace's
+// task count.
+func (s *Sample) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	need := len(s.xs) + n
+	if cap(s.xs) < need {
+		xs := make([]float64, len(s.xs), need)
+		copy(xs, s.xs)
+		s.xs = xs
+	}
+}
+
 // Add records one or more observations.
 func (s *Sample) Add(xs ...float64) {
+	if len(xs) == 0 {
+		return
+	}
+	if len(s.xs) == 0 {
+		s.min, s.max = xs[0], xs[0]
+	}
+	for _, x := range xs {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
 	s.xs = append(s.xs, xs...)
 	s.sorted = false
 }
@@ -78,8 +114,7 @@ func (s *Sample) Min() float64 {
 	if len(s.xs) == 0 {
 		return math.NaN()
 	}
-	s.sort()
-	return s.xs[0]
+	return s.min
 }
 
 // Max returns the largest observation, or NaN on an empty sample.
@@ -87,8 +122,7 @@ func (s *Sample) Max() float64 {
 	if len(s.xs) == 0 {
 		return math.NaN()
 	}
-	s.sort()
-	return s.xs[len(s.xs)-1]
+	return s.max
 }
 
 // Sum returns the sum of all observations.
@@ -151,6 +185,34 @@ func (s *Sample) Values() []float64 {
 	s.sort()
 	out := make([]float64, len(s.xs))
 	copy(out, s.xs)
+	return out
+}
+
+// MergeSamples combines samples into one, pre-sized to the exact total and
+// already sorted: each input is sorted in place (exactly what a percentile
+// query would have forced anyway), then the sorted runs are k-way merged
+// with ties resolved in input order. Because merging sorted runs yields the
+// same sorted sequence a concat-then-sort would, every order statistic of
+// the merged sample is bit-identical to the concatenation's — without the
+// copy-concat-resort allocation ladder the shard merges used to pay. Nil
+// inputs are skipped.
+func MergeSamples(samples ...*Sample) *Sample {
+	runs := make([][]float64, 0, len(samples))
+	total := 0
+	for _, s := range samples {
+		if s == nil || len(s.xs) == 0 {
+			continue
+		}
+		s.sort()
+		runs = append(runs, s.xs)
+		total += len(s.xs)
+	}
+	out := &Sample{xs: make([]float64, 0, total), sorted: true}
+	if total == 0 {
+		return out
+	}
+	out.xs = MergeSorted(out.xs, func(a, b float64) bool { return a < b }, runs...)
+	out.min, out.max = out.xs[0], out.xs[total-1]
 	return out
 }
 

@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// refTimeline is the pre-columnar reference implementation: time.Time
+// breakpoints, the exact code the int64 Timeline replaced. The property
+// tests below drive random operation sequences through both and require
+// bit-identical answers — the "provably value-preserving" contract of the
+// columnar rewrite. Keep this in sync with Timeline's documented semantics,
+// not its representation.
+type refTimeline struct {
+	times  []time.Time
+	values []float64
+}
+
+func (tl *refTimeline) Set(t time.Time, v float64) {
+	n := len(tl.times)
+	if n > 0 && t.Before(tl.times[n-1]) {
+		panic("ref: backwards")
+	}
+	if n > 0 && t.Equal(tl.times[n-1]) {
+		tl.values[n-1] = v
+		return
+	}
+	tl.times = append(tl.times, t)
+	tl.values = append(tl.values, v)
+}
+
+func (tl *refTimeline) Last() float64 {
+	if len(tl.values) == 0 {
+		return 0
+	}
+	return tl.values[len(tl.values)-1]
+}
+
+func (tl *refTimeline) Delta(t time.Time, d float64) { tl.Set(t, tl.Last()+d) }
+
+func (tl *refTimeline) At(t time.Time) float64 {
+	lo, hi := 0, len(tl.times)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tl.times[mid].After(t) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return tl.values[lo-1]
+}
+
+func (tl *refTimeline) Integral(from, to time.Time) float64 {
+	if !to.After(from) || len(tl.times) == 0 {
+		return 0
+	}
+	idx := sort.Search(len(tl.times), func(i int) bool { return tl.times[i].After(from) })
+	var total float64
+	cur := from
+	curVal := 0.0
+	if idx > 0 {
+		curVal = tl.values[idx-1]
+	}
+	for i := idx; i < len(tl.times); i++ {
+		ti := tl.times[i]
+		if ti.After(to) {
+			break
+		}
+		total += curVal * ti.Sub(cur).Hours()
+		cur = ti
+		curVal = tl.values[i]
+	}
+	total += curVal * to.Sub(cur).Hours()
+	return total
+}
+
+// refMerge is the pre-columnar MergeTimelines: gather every breakpoint,
+// stable-sort, sweep.
+func refMerge(tls ...*refTimeline) *refTimeline {
+	out := &refTimeline{}
+	type point struct{ idx, pos int }
+	var pts []point
+	for i, tl := range tls {
+		for j := range tl.times {
+			pts = append(pts, point{i, j})
+		}
+	}
+	sort.SliceStable(pts, func(a, b int) bool {
+		return tls[pts[a].idx].times[pts[a].pos].Before(tls[pts[b].idx].times[pts[b].pos])
+	})
+	cur := make([]float64, len(tls))
+	sum := 0.0
+	for _, p := range pts {
+		tl := tls[p.idx]
+		sum += tl.values[p.pos] - cur[p.idx]
+		cur[p.idx] = tl.values[p.pos]
+		out.Set(tl.times[p.pos], sum)
+	}
+	return out
+}
+
+// TestTimelineMatchesReferenceProperty drives random Set/Delta/At/Integral
+// sequences through the columnar Timeline and the time.Time reference and
+// requires exactly equal (==, not approximately equal) results.
+func TestTimelineMatchesReferenceProperty(t *testing.T) {
+	base := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		tl := NewTimeline()
+		ref := &refTimeline{}
+		cur := base
+		end := base
+		for op := 0; op < 300; op++ {
+			switch r.Intn(4) {
+			case 0: // Set at a strictly or equally advanced time
+				cur = cur.Add(time.Duration(r.Intn(3600*1000)) * time.Millisecond)
+				v := math.Floor(r.Float64()*1e6) / 64
+				tl.Set(cur, v)
+				ref.Set(cur, v)
+			case 1: // Delta, occasionally at the exact same timestamp
+				if r.Intn(3) > 0 {
+					cur = cur.Add(time.Duration(r.Intn(1800)) * time.Second)
+				}
+				d := float64(r.Intn(64)) - 16
+				tl.Delta(cur, d)
+				ref.Delta(cur, d)
+			case 2: // point query at an arbitrary instant (before/inside/after)
+				q := base.Add(time.Duration(r.Int63n(int64(400 * time.Hour))))
+				if got, want := tl.At(q), ref.At(q); got != want {
+					t.Fatalf("seed %d op %d: At(%v) = %v, ref %v", seed, op, q, got, want)
+				}
+				if got, want := tl.Last(), ref.Last(); got != want {
+					t.Fatalf("seed %d op %d: Last = %v, ref %v", seed, op, got, want)
+				}
+			case 3: // window integral with random, possibly inverted, bounds
+				a := base.Add(time.Duration(r.Int63n(int64(300 * time.Hour))))
+				b := base.Add(time.Duration(r.Int63n(int64(300 * time.Hour))))
+				if got, want := tl.Integral(a, b), ref.Integral(a, b); got != want {
+					t.Fatalf("seed %d op %d: Integral(%v,%v) = %v, ref %v", seed, op, a, b, got, want)
+				}
+			}
+			if cur.After(end) {
+				end = cur
+			}
+		}
+		if tl.Len() != len(ref.times) {
+			t.Fatalf("seed %d: len %d, ref %d", seed, tl.Len(), len(ref.times))
+		}
+		if got, want := tl.Integral(base, end.Add(time.Hour)), ref.Integral(base, end.Add(time.Hour)); got != want {
+			t.Fatalf("seed %d: full integral %v, ref %v", seed, got, want)
+		}
+	}
+}
+
+// TestMergeTimelinesMatchesReferenceProperty merges random families of
+// timelines — including nil and empty members and heavy timestamp
+// collisions — through both implementations and requires identical points
+// and bit-identical swept values.
+func TestMergeTimelinesMatchesReferenceProperty(t *testing.T) {
+	base := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(1000 + seed))
+		k := 1 + r.Intn(6)
+		tls := make([]*Timeline, 0, k+1)
+		refs := make([]*refTimeline, 0, k)
+		for i := 0; i < k; i++ {
+			if r.Intn(6) == 0 {
+				tls = append(tls, nil) // nil members must be harmless
+				continue
+			}
+			tl := NewTimeline()
+			ref := &refTimeline{}
+			cur := base
+			n := r.Intn(80)
+			for j := 0; j < n; j++ {
+				// Coarse steps make cross-timeline collisions common.
+				cur = cur.Add(time.Duration(r.Intn(4)) * 30 * time.Minute)
+				v := float64(r.Intn(512)) / 8
+				tl.Set(cur, v)
+				ref.Set(cur, v)
+			}
+			tls = append(tls, tl)
+			refs = append(refs, ref)
+		}
+		got := MergeTimelines(tls...)
+		want := refMerge(refs...)
+		if got.Len() != len(want.times) {
+			t.Fatalf("seed %d: merged len %d, ref %d", seed, got.Len(), len(want.times))
+		}
+		for i := range want.times {
+			if got.times[i] != want.times[i].UnixNano() || got.values[i] != want.values[i] {
+				t.Fatalf("seed %d: point %d = (%d, %v), ref (%d, %v)", seed, i,
+					got.times[i], got.values[i], want.times[i].UnixNano(), want.values[i])
+			}
+		}
+		// Spot-check the swept function, not just the stored points.
+		for q := 0; q < 50; q++ {
+			at := base.Add(time.Duration(r.Int63n(int64(72 * time.Hour))))
+			if g, w := got.At(at), want.At(at); g != w {
+				t.Fatalf("seed %d: merged At(%v) = %v, ref %v", seed, at, g, w)
+			}
+		}
+	}
+}

@@ -100,8 +100,10 @@ func (p LeastLoaded) SelectHosts(c *cluster.Cluster, req resources.Spec, n int) 
 	r := c.ReplicasPerKernel()
 	limit := c.SRLimit()
 
-	balanced := topN{buf: make([]scored, 0, n), cap: n}
-	viable := topN{buf: make([]scored, 0, n), cap: n}
+	// One backing array serves both candidate heaps.
+	scratch := make([]scored, 2*n)
+	balanced := topN{buf: scratch[:0:n], cap: n}
+	viable := topN{buf: scratch[n : n : 2*n], cap: n}
 	balancedCount := 0
 	c.ForEachHost(func(h *cluster.Host) bool {
 		if !req.Fits(h.Capacity) {

@@ -15,8 +15,11 @@
 // shards via trace.Split, replays one worker simulation per shard on
 // parallel goroutines with ShardSeed-derived seeds, and merges the
 // results deterministically with MergeResults/MergeFedResults —
-// timelines through metrics.MergeTimelines, samples by concatenation,
-// counters by summation, always in shard-index order so output never
+// timelines through metrics.MergeTimelines, samples through
+// metrics.MergeSamples (k-way merges of the shards' sorted runs, so
+// merged quantiles are bit-identical to concatenation), events by a
+// pre-sized k-way merge on their int64 timestamps, counters by
+// summation, always in shard-index order so output never
 // depends on worker completion order. Sharded runs approximate unsharded
 // ones (workers do not share cluster capacity); the saved-GPU-hour drift
 // bound is documented on RunSharded and pinned by

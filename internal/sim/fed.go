@@ -331,6 +331,10 @@ type fedSession struct {
 	assig workload.Assignment
 	home  int
 
+	// holder is the session's exclusive-commit key ("fed/<id>"), built once;
+	// task serialization (running + FCFS queue) guarantees at most one
+	// outstanding commitment per session, see simSession.holder.
+	holder       string
 	hosts        []*fedHost
 	rkeys        []string
 	lastExecutor int
@@ -340,8 +344,8 @@ type fedSession struct {
 }
 
 func (ss *fedSession) replicaKeyFor(i int) string {
-	for len(ss.rkeys) < i {
-		ss.rkeys = append(ss.rkeys, replicaKey(ss.src.ID, len(ss.rkeys)+1))
+	if len(ss.rkeys) < i {
+		ss.rkeys = extendReplicaKeys(ss.rkeys, ss.src.ID, i)
 	}
 	return ss.rkeys[i-1]
 }
@@ -364,7 +368,11 @@ type fedSim struct {
 	// autoscaler makes the pooled decisions when cfg.PooledAutoscale is
 	// set; nil in per-member mode.
 	autoscaler *federation.FederatedAutoscaler
-	res        *FedResult
+	// loads is the reusable MemberLoad buffer the pooled autoscaler
+	// snapshot fills every interval (one slice for the whole run instead
+	// of one per tick — 90-day runs make tens of thousands of ticks).
+	loads []federation.MemberLoad
+	res   *FedResult
 }
 
 // RunFederated executes a federated simulation and returns its result.
@@ -425,14 +433,31 @@ func RunFederated(cfg FedConfig) (*FedResult, error) {
 	// Any member's capacity-freeing transition wakes the shared queue.
 	s.fed.SetCapacityNotifier(s.waitq.Notify)
 
+	// Pre-size metric columns from the trace (see Run): the federation-wide
+	// series get exact hints; per-member delta series split the task total
+	// evenly — an estimate, so a hot member may still grow, but the bulk of
+	// the column is allocated once.
+	sessions := len(cfg.Trace.Sessions)
+	numTasks := cfg.Trace.NumTasks()
+	ticks := int(cfg.Trace.End.Sub(cfg.Trace.Start)/cfg.SampleEvery) + 2
+	s.res.ActiveSessions.Grow(2 * sessions)
+	s.res.Interactivity.Grow(numTasks)
+	s.res.TCT.Grow(numTasks)
+	for _, m := range s.members {
+		m.res.ProvisionedGPUs.Grow(ticks + 64)
+		m.res.CommittedGPUs.Grow(2*numTasks/len(s.members) + 16)
+	}
+	s.eng.Reserve(2*sessions + numTasks + 16)
+
 	wr := rand.New(rand.NewSource(cfg.Seed + 2))
 	for i, sess := range cfg.Trace.Sessions {
 		sess := sess
 		ss := &fedSession{
-			src:   sess,
-			req:   sess.Request,
-			assig: workload.Assign(wr),
-			home:  i % len(s.members),
+			src:    sess,
+			req:    sess.Request,
+			assig:  workload.Assign(wr),
+			home:   i % len(s.members),
+			holder: "fed/" + sess.ID,
 		}
 		s.members[ss.home].res.HomeSessions++
 		s.eng.Schedule(sess.Start, func() { s.sessionStart(ss) })
@@ -583,7 +608,7 @@ func (s *fedSim) tryTask(ss *fedSession, task trace.Task, submit time.Time) bool
 		return s.tryFedMigrate(ss, task, submit)
 	}
 	fh := ss.hosts[executor-1]
-	holder := holderKey("fed", ss.src.ID, submit.UnixNano())
+	holder := ss.holder
 	if err := fh.h.Commit(holder, req); err != nil {
 		return s.tryFedMigrate(ss, task, submit)
 	}
@@ -612,11 +637,14 @@ func (s *fedSim) tryTask(ss *fedSession, task trace.Task, submit time.Time) bool
 		wan
 
 	member := fh.member
+	// The nested closures reach latency models through s (captured anyway)
+	// rather than the lat local: capturing the whole Latencies struct would
+	// heap-box a copy of it per task.
 	s.eng.Schedule(submit.Add(delay), func() {
 		s.markTraining(member, task, true)
 		s.eng.Defer(task.Duration, func() {
-			off := lat.Transfer.OffloadTime(ss.assig.Model.ParamBytes)
-			ret := lat.Hop(s.rng)
+			off := s.cfg.Latencies.Transfer.OffloadTime(ss.assig.Model.ParamBytes)
+			ret := s.cfg.Latencies.Hop(s.rng)
 			s.eng.Defer(off+ret, func() {
 				s.markTraining(member, task, false)
 				_ = fh.h.Release(holder)
@@ -778,7 +806,10 @@ func (s *fedSim) scheduleAutoscale() {
 // autoscaler enforces the federation-wide floor and the placement anchor
 // (some member always keeps R hosts).
 func (s *fedSim) autoscalePooled() {
-	loads := make([]federation.MemberLoad, len(s.members))
+	if s.loads == nil {
+		s.loads = make([]federation.MemberLoad, len(s.members))
+	}
+	loads := s.loads
 	for i, m := range s.members {
 		l := federation.MemberLoad{
 			Hosts:          m.c.NumHosts(),

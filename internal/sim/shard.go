@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"sort"
 	"sync"
 
 	"notebookos/internal/metrics"
@@ -122,10 +121,16 @@ func RunSharded(cfg Config, shards int) (*Result, error) {
 //     sum of per-shard ratios: useful as a saturation indicator, not a
 //     cluster-wide subscription ratio.
 //   - Samples (interactivity, TCT, per-step latencies, sync/read/write)
-//     concatenate; their quantiles are completion-order independent
-//     because Sample sorts on query.
-//   - Events merge by time with a stable sort, so equal-time events keep
-//     shard order.
+//     combine with metrics.MergeSamples: each shard's sample is sorted in
+//     place (what the first percentile query would have forced anyway) and
+//     the sorted runs k-way merge into a pre-sized, already-sorted result.
+//     Merging sorted runs yields exactly the sequence a concat-then-sort
+//     would, so every quantile is bit-identical and completion-order
+//     independent.
+//   - Events k-way merge by time: each worker records events at its own
+//     non-decreasing sim clock, so the per-shard slices are already sorted
+//     and the merge is a pre-sized sweep; equal-time events keep shard
+//     order, matching the stable sort this replaces.
 //   - Counters and integrated hours sum.
 func MergeResults(results ...*Result) *Result {
 	if len(results) == 0 {
@@ -165,13 +170,7 @@ func MergeResults(results ...*Result) *Result {
 		out.StepLatency[st] = mergeSamples(results, func(r *Result) *metrics.Sample { return r.StepLatency[st] })
 	}
 
-	out.Events = make([]Event, 0, events)
-	for _, r := range results {
-		out.Events = append(out.Events, r.Events...)
-	}
-	sort.SliceStable(out.Events, func(a, b int) bool {
-		return out.Events[a].Time.Before(out.Events[b].Time)
-	})
+	out.Events = mergeEvents(results, events)
 
 	for _, r := range results {
 		out.Tasks += r.Tasks
@@ -191,16 +190,28 @@ func MergeResults(results ...*Result) *Result {
 	return out
 }
 
-// mergeSamples concatenates one sample per result, skipping nils (a
-// shard's StepLatency map always covers Steps(), but be defensive).
+// mergeSamples k-way merges one sample per result via metrics.MergeSamples
+// (nil samples are skipped there; a shard's StepLatency map always covers
+// Steps(), but be defensive).
 func mergeSamples(results []*Result, get func(*Result) *metrics.Sample) *metrics.Sample {
-	out := metrics.NewSample()
-	for _, r := range results {
-		if s := get(r); s != nil {
-			out.Add(s.Values()...)
-		}
+	ins := make([]*metrics.Sample, len(results))
+	for i, r := range results {
+		ins[i] = get(r)
 	}
-	return out
+	return metrics.MergeSamples(ins...)
+}
+
+// mergeEvents k-way merges the per-shard event slices, which are each
+// time-ordered (recorded at a monotone sim clock), into one pre-sized
+// slice. metrics.MergeSorted resolves ties toward the lowest shard index —
+// the order the previous concat-and-stable-sort produced.
+func mergeEvents(results []*Result, total int) []Event {
+	runs := make([][]Event, len(results))
+	for i, r := range results {
+		runs[i] = r.Events
+	}
+	return metrics.MergeSorted(make([]Event, 0, total),
+		func(a, b Event) bool { return a.T < b.T }, runs...)
 }
 
 // RunFederatedSharded is RunSharded for the federated simulator: the
@@ -355,11 +366,15 @@ func MergeFedResults(results ...*FedResult) *FedResult {
 	out.CommittedGPUs = metrics.MergeTimelines(comm...)
 	out.ActiveSessions = metrics.MergeTimelines(sess...)
 
-	out.Interactivity = metrics.NewSample()
-	out.TCT = metrics.NewSample()
+	inter := make([]*metrics.Sample, len(results))
+	tct := make([]*metrics.Sample, len(results))
+	for i, r := range results {
+		inter[i] = r.Interactivity
+		tct[i] = r.TCT
+	}
+	out.Interactivity = metrics.MergeSamples(inter...)
+	out.TCT = metrics.MergeSamples(tct...)
 	for _, r := range results {
-		out.Interactivity.Add(r.Interactivity.Values()...)
-		out.TCT.Add(r.TCT.Values()...)
 		out.Tasks += r.Tasks
 		out.ImmediateCommits += r.ImmediateCommits
 		out.LocalPlacements += r.LocalPlacements

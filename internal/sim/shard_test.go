@@ -64,7 +64,7 @@ func deepEqualResults(t *testing.T, label string, a, b *Result) {
 		t.Fatalf("%s: event counts differ: %d vs %d", label, len(a.Events), len(b.Events))
 	}
 	for i := range a.Events {
-		if !a.Events[i].Time.Equal(b.Events[i].Time) || a.Events[i].Kind != b.Events[i].Kind {
+		if a.Events[i] != b.Events[i] {
 			t.Fatalf("%s: event %d differs: %+v vs %+v", label, i, a.Events[i], b.Events[i])
 		}
 	}

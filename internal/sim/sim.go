@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"strconv"
+	"strings"
 	"time"
 
 	"notebookos/internal/cluster"
@@ -133,11 +134,17 @@ func (c *Config) withDefaults() error {
 	return nil
 }
 
-// Event mirrors scheduler events for the Fig. 10 timeline.
+// Event mirrors scheduler events for the Fig. 10 timeline. T is the event
+// time in Unix nanoseconds — the DES engine's native int64 ordering key —
+// which keeps a long trace's event record at 24 bytes instead of the 40 a
+// time.Time field costs, and makes merge comparisons integer compares.
 type Event struct {
-	Time time.Time
+	T    int64
 	Kind scheduler.EventKind
 }
+
+// Time returns the event time as a time.Time in UTC.
+func (e Event) Time() time.Time { return time.Unix(0, e.T).UTC() }
 
 // Result carries everything the experiment harness needs to regenerate
 // the paper's tables and figures.
@@ -186,6 +193,13 @@ type simSession struct {
 
 	// NotebookOS: replica hosts; Reservation: the single reserved host.
 	hosts []*cluster.Host
+	// holder is the session's exclusive-commit key ("<kind>/<id>"), built
+	// once at session creation. A session's tasks are strictly serialized
+	// (running + FCFS queue), so at most one commitment per session is ever
+	// outstanding and one key can serve every task — the per-attempt
+	// "<kind>/<id>/<nanos>" keys were the task path's largest allocation
+	// source on long traces.
+	holder string
 	// rkeys caches the session's replica subscription keys ("<id>/r<i>"),
 	// built once at kernel creation and reused at shutdown and on every
 	// migration.
@@ -199,8 +213,8 @@ type simSession struct {
 
 // replicaKeyFor returns the cached key for replica i (1-based).
 func (ss *simSession) replicaKeyFor(i int) string {
-	for len(ss.rkeys) < i {
-		ss.rkeys = append(ss.rkeys, replicaKey(ss.src.ID, len(ss.rkeys)+1))
+	if len(ss.rkeys) < i {
+		ss.rkeys = extendReplicaKeys(ss.rkeys, ss.src.ID, i)
 	}
 	return ss.rkeys[i-1]
 }
@@ -235,25 +249,60 @@ type sim struct {
 	waitq *capacityWaitQueue
 }
 
-// holderKey builds "<kind>/<session>/<nanos>" without fmt — this runs once
-// per task attempt on the simulator's hot path.
-func holderKey(kind, sessionID string, nanos int64) string {
-	b := make([]byte, 0, len(kind)+len(sessionID)+22)
-	b = append(b, kind...)
-	b = append(b, '/')
-	b = append(b, sessionID...)
-	b = append(b, '/')
-	b = strconv.AppendInt(b, nanos, 10)
-	return string(b)
+// holderKind names the exclusive-commit key namespace each policy's task
+// path uses; Reservation holds for whole sessions under "sess".
+func holderKind(p Policy) string {
+	switch p {
+	case PolicyReservation:
+		return "sess"
+	case PolicyBatch:
+		return "batch"
+	case PolicyLCP:
+		return "lcp"
+	default:
+		return "nbos"
+	}
 }
 
-// replicaKey builds "<session>/r<i>" without fmt.
-func replicaKey(sessionID string, i int) string {
-	b := make([]byte, 0, len(sessionID)+10)
-	b = append(b, sessionID...)
-	b = append(b, '/', 'r')
-	b = strconv.AppendInt(b, int64(i), 10)
-	return string(b)
+// extendReplicaKeys grows keys to n entries of "<id>/r<i>" (1-based),
+// carving every new key out of one backing buffer: a kernel's R keys cost
+// two allocations (buffer + slice) instead of one per key.
+func extendReplicaKeys(keys []string, id string, n int) []string {
+	if cap(keys) < n {
+		nk := make([]string, len(keys), n)
+		copy(nk, keys)
+		keys = nk
+	}
+	start := len(keys)
+	size := 0
+	for i := start + 1; i <= n; i++ {
+		size += len(id) + 2 + decimalDigits(i)
+	}
+	var b strings.Builder
+	b.Grow(size)
+	for i := start + 1; i <= n; i++ {
+		b.WriteString(id)
+		b.WriteString("/r")
+		b.WriteString(strconv.Itoa(i))
+	}
+	blob := b.String()
+	pos := 0
+	for i := start + 1; i <= n; i++ {
+		l := len(id) + 2 + decimalDigits(i)
+		keys = append(keys, blob[pos:pos+l])
+		pos += l
+	}
+	return keys
+}
+
+// decimalDigits returns the number of base-10 digits of i > 0.
+func decimalDigits(i int) int {
+	d := 1
+	for i >= 10 {
+		i /= 10
+		d++
+	}
+	return d
 }
 
 // Run executes the simulation and returns its result.
@@ -286,17 +335,50 @@ func Run(cfg Config) (*Result, error) {
 		},
 	}
 	s.cluster.SetCapacityNotifier(s.waitq.Notify)
-	for _, st := range Steps() {
-		s.res.StepLatency[st] = metrics.NewSample()
+
+	// Pre-size the metric columns from the trace: delta series record two
+	// points per task (or session), sampled series one point per period.
+	// The hints are exact upper bounds (coincident timestamps collapse),
+	// so long traces pay one allocation per column instead of a geometric
+	// growth ladder — the dominant allocation cost of 90-day runs.
+	sessions := len(cfg.Trace.Sessions)
+	numTasks := cfg.Trace.NumTasks()
+	ticks := int(cfg.Trace.End.Sub(cfg.Trace.Start)/cfg.SampleEvery) + 2
+	s.res.ProvisionedGPUs.Grow(ticks + 64)
+	s.res.CommittedGPUs.Grow(2 * numTasks)
+	s.res.ActiveSessions.Grow(2 * sessions)
+	s.res.ActiveTrainings.Grow(2 * numTasks)
+	if cfg.Policy == PolicyNotebookOS || cfg.Policy == PolicyLCP {
+		s.res.SR.Grow(2*sessions + ticks)
 	}
+	s.res.Interactivity.Grow(numTasks)
+	s.res.TCT.Grow(numTasks)
+	s.res.SyncLatency.Grow(numTasks)
+	s.res.ReadLatency.Grow(numTasks)
+	s.res.WriteLatency.Grow(numTasks)
+	for _, st := range Steps() {
+		sm := metrics.NewSample()
+		sm.Grow(numTasks) // exactly one observation per executed task
+		s.res.StepLatency[st] = sm
+	}
+	s.res.Events = make([]Event, 0, sessions+64)
 	for i := 0; i < cfg.Hosts; i++ {
 		s.addHost()
 	}
 
+	// The whole trace is scheduled up front: one event per session
+	// boundary plus one per task arrival.
+	s.eng.Reserve(2*sessions + numTasks + 16)
+	kind := holderKind(cfg.Policy)
 	wr := rand.New(rand.NewSource(cfg.Seed + 2))
 	for _, sess := range cfg.Trace.Sessions {
 		sess := sess
-		ss := &simSession{src: sess, req: sess.Request, assig: workload.Assign(wr)}
+		ss := &simSession{
+			src:    sess,
+			req:    sess.Request,
+			assig:  workload.Assign(wr),
+			holder: kind + "/" + sess.ID,
+		}
 		s.sessions[sess.ID] = ss
 		s.eng.Schedule(sess.Start, func() { s.sessionStart(ss) })
 		s.eng.Schedule(sess.End, func() { s.sessionEnd(ss) })
@@ -330,7 +412,7 @@ func (s *sim) addHost() *simHost {
 }
 
 func (s *sim) recordEvent(kind scheduler.EventKind) {
-	s.res.Events = append(s.res.Events, Event{Time: s.now(), Kind: kind})
+	s.res.Events = append(s.res.Events, Event{T: s.now().UnixNano(), Kind: kind})
 }
 
 // ---- session lifecycle -------------------------------------------------
@@ -345,7 +427,7 @@ func (s *sim) sessionStart(ss *simSession) {
 		if sh == nil {
 			sh = s.addHost()
 		}
-		if err := sh.h.Commit("sess/"+ss.src.ID, ss.req); err != nil {
+		if err := sh.h.Commit(ss.holder, ss.req); err != nil {
 			// A fresh host always fits a valid request.
 			panic(err)
 		}
@@ -386,7 +468,7 @@ func (s *sim) sessionEnd(ss *simSession) {
 	switch s.cfg.Policy {
 	case PolicyReservation:
 		if len(ss.hosts) > 0 {
-			_ = ss.hosts[0].Release("sess/" + ss.src.ID)
+			_ = ss.hosts[0].Release(ss.holder)
 		}
 	case PolicyNotebookOS:
 		for i, h := range ss.hosts {
@@ -475,13 +557,16 @@ func (s *sim) runReservationTask(ss *simSession, task trace.Task, submit time.Ti
 	s.eng.Schedule(submit.Add(delay), func() {
 		s.markTraining(ss, task, s.now(), true)
 	})
+	// The completion closures reach latency models through s (captured
+	// anyway) rather than the lat local: capturing the whole Latencies
+	// struct would heap-box a copy of it per task. Same in every task path.
 	s.eng.Schedule(submit.Add(delay+task.Duration), func() {
 		// Reservation persists updated state synchronously (Fig. 16 step 9).
-		post := lat.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng)
+		post := s.cfg.Latencies.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng)
 		s.res.WriteLatency.Add(post.Seconds())
 		s.sampleStep(StepPostProc, post)
 		s.sampleStep(StepExec, task.Duration)
-		ret := s.sampleStep(StepReturn, lat.Hop(s.rng))
+		ret := s.sampleStep(StepReturn, s.cfg.Latencies.Hop(s.rng))
 		s.eng.Defer(post+ret, func() {
 			s.markTraining(ss, task, s.now(), false)
 			s.finishTask(ss, submit, delay, task.Duration, post)
@@ -494,11 +579,13 @@ func (s *sim) runReservationTask(ss *simSession, task trace.Task, submit time.Ti
 // When the cluster is saturated the task parks on the capacity wait-queue
 // and is retried on the next Release/AddHost notification.
 func (s *sim) runBatchTask(ss *simSession, task trace.Task, submit time.Time) {
-	lat := s.cfg.Latencies
 	// A batch job requests the session's full configured resources, the
 	// way a slurm submission would, not just the GPUs this task touches.
+	// Latency models are reached through s everywhere in this function:
+	// the escaping attempt closure would otherwise heap-box a Latencies
+	// copy per task.
 	req := ss.req
-	holder := holderKey("batch", ss.src.ID, submit.UnixNano())
+	holder := ss.holder
 
 	attempt := func() bool {
 		sh := s.hostWithIdle(req)
@@ -510,24 +597,24 @@ func (s *sim) runBatchTask(ss *simSession, task trace.Task, submit time.Time) {
 			return false
 		}
 		queueing := s.now().Sub(submit)
-		cold := lat.ColdStart(s.rng)
+		cold := s.cfg.Latencies.ColdStart(s.rng)
 		s.res.ColdStarts++
-		fetch := lat.Store.GetLatency(ss.assig.Model.ParamBytes+ss.assig.Dataset.SizeBytes/16, s.rng)
+		fetch := s.cfg.Latencies.Store.GetLatency(ss.assig.Model.ParamBytes+ss.assig.Dataset.SizeBytes/16, s.rng)
 		s.res.ReadLatency.Add(fetch.Seconds())
-		step1 := s.sampleStep(StepGSProcess, queueing+cold+lat.GSProcess(s.rng))
-		step5 := s.sampleStep(StepPreProcess, lat.PreProcess(s.rng)+fetch)
+		step1 := s.sampleStep(StepGSProcess, queueing+cold+s.cfg.Latencies.GSProcess(s.rng))
+		step5 := s.sampleStep(StepPreProcess, s.cfg.Latencies.PreProcess(s.rng)+fetch)
 		s.sampleStep(StepElection, 0)
-		step7 := s.sampleStep(StepIntermed, lat.Transfer.LoadTime(ss.assig.Model.ParamBytes, task.GPUs))
+		step7 := s.sampleStep(StepIntermed, s.cfg.Latencies.Transfer.LoadTime(ss.assig.Model.ParamBytes, task.GPUs))
 		delay := step1 + step5 + step7
 
 		s.eng.Defer(delay, func() {
 			s.markTraining(ss, task, s.now(), true)
 			s.eng.Defer(task.Duration, func() {
 				s.sampleStep(StepExec, task.Duration)
-				post := lat.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng)
+				post := s.cfg.Latencies.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng)
 				s.res.WriteLatency.Add(post.Seconds())
 				s.sampleStep(StepPostProc, post)
-				ret := s.sampleStep(StepReturn, lat.Hop(s.rng))
+				ret := s.sampleStep(StepReturn, s.cfg.Latencies.Hop(s.rng))
 				s.eng.Defer(post+ret, func() {
 					s.markTraining(ss, task, s.now(), false)
 					_ = h.Release(holder)
@@ -579,7 +666,7 @@ func (s *sim) tryNbosTask(ss *simSession, task trace.Task, submit time.Time) boo
 		return s.tryMigrate(ss, task, submit)
 	}
 	h := ss.hosts[executor-1]
-	holder := holderKey("nbos", ss.src.ID, submit.UnixNano())
+	holder := ss.holder
 	if err := h.Commit(holder, req); err != nil {
 		return s.tryMigrate(ss, task, submit)
 	}
@@ -604,12 +691,12 @@ func (s *sim) tryNbosTask(ss *simSession, task trace.Task, submit time.Time) boo
 			s.sampleStep(StepExec, task.Duration)
 			// State replication is off the critical path (§3.2.4): the
 			// reply returns after the GPU offload only.
-			off := lat.Transfer.OffloadTime(ss.assig.Model.ParamBytes)
+			off := s.cfg.Latencies.Transfer.OffloadTime(ss.assig.Model.ParamBytes)
 			s.sampleStep(StepPostProc, off)
-			ret := s.sampleStep(StepReturn, lat.Hop(s.rng))
+			ret := s.sampleStep(StepReturn, s.cfg.Latencies.Hop(s.rng))
 			// Record the async replication costs for Fig. 11.
-			s.res.SyncLatency.Add(lat.Sync(s.rng).Seconds())
-			s.res.WriteLatency.Add(lat.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng).Seconds())
+			s.res.SyncLatency.Add(s.cfg.Latencies.Sync(s.rng).Seconds())
+			s.res.WriteLatency.Add(s.cfg.Latencies.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng).Seconds())
 			s.eng.Defer(off+ret, func() {
 				s.markTraining(ss, task, s.now(), false)
 				_ = h.Release(holder)
@@ -720,9 +807,10 @@ func hostsContain(hosts []*cluster.Host, h *cluster.Host) bool {
 // what stretches LCP's TCT in Fig. 9b), execute, return the container.
 // Saturation parks the task on the capacity wait-queue.
 func (s *sim) runLCPTask(ss *simSession, task trace.Task, submit time.Time) {
-	lat := s.cfg.Latencies
+	// Latency models are reached through s: the escaping attempt closure
+	// would heap-box a Latencies copy per task otherwise.
 	req := s.taskReq(ss, task)
-	holder := holderKey("lcp", ss.src.ID, submit.UnixNano())
+	holder := ss.holder
 
 	attempt := func() bool {
 		var target *simHost
@@ -751,29 +839,29 @@ func (s *sim) runLCPTask(ss *simSession, task trace.Task, submit time.Time) {
 		if warm {
 			target.warm--
 			s.res.WarmStarts++
-			start = lat.WarmAttach(s.rng)
+			start = s.cfg.Latencies.WarmAttach(s.rng)
 		} else {
 			s.res.ColdStarts++
-			start = lat.ColdStart(s.rng)
+			start = s.cfg.Latencies.ColdStart(s.rng)
 		}
 		queueing := s.now().Sub(submit)
 		// Warm-up: fetch model parameters and dataset into the container.
-		fetch := lat.Store.GetLatency(ss.assig.Model.ParamBytes+ss.assig.Dataset.SizeBytes/16, s.rng)
+		fetch := s.cfg.Latencies.Store.GetLatency(ss.assig.Model.ParamBytes+ss.assig.Dataset.SizeBytes/16, s.rng)
 		s.res.ReadLatency.Add(fetch.Seconds())
-		step1 := s.sampleStep(StepGSProcess, queueing+start+lat.GSProcess(s.rng))
-		step5 := s.sampleStep(StepPreProcess, lat.PreProcess(s.rng)+fetch)
+		step1 := s.sampleStep(StepGSProcess, queueing+start+s.cfg.Latencies.GSProcess(s.rng))
+		step5 := s.sampleStep(StepPreProcess, s.cfg.Latencies.PreProcess(s.rng)+fetch)
 		s.sampleStep(StepElection, 0)
-		step7 := s.sampleStep(StepIntermed, lat.Transfer.LoadTime(ss.assig.Model.ParamBytes, task.GPUs))
+		step7 := s.sampleStep(StepIntermed, s.cfg.Latencies.Transfer.LoadTime(ss.assig.Model.ParamBytes, task.GPUs))
 		delay := step1 + step5 + step7
 
 		s.eng.Defer(delay, func() {
 			s.markTraining(ss, task, s.now(), true)
 			s.eng.Defer(task.Duration, func() {
 				s.sampleStep(StepExec, task.Duration)
-				post := lat.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng)
+				post := s.cfg.Latencies.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng)
 				s.res.WriteLatency.Add(post.Seconds())
 				s.sampleStep(StepPostProc, post)
-				ret := s.sampleStep(StepReturn, lat.Hop(s.rng))
+				ret := s.sampleStep(StepReturn, s.cfg.Latencies.Hop(s.rng))
 				s.eng.Defer(post+ret, func() {
 					s.markTraining(ss, task, s.now(), false)
 					_ = target.h.Release(holder)

@@ -23,10 +23,15 @@ type capacityWaitQueue struct {
 	eng       *des.Engine
 	q         []capWaiter
 	scheduled bool
+	// drainFn is the bound drain method, built once: passing w.drain to
+	// Defer directly would allocate a fresh method value per notification.
+	drainFn func()
 }
 
 func newCapacityWaitQueue(eng *des.Engine) *capacityWaitQueue {
-	return &capacityWaitQueue{eng: eng}
+	w := &capacityWaitQueue{eng: eng}
+	w.drainFn = w.drain
+	return w
 }
 
 // Len returns the number of parked waiters.
@@ -47,7 +52,7 @@ func (w *capacityWaitQueue) Notify() {
 		return
 	}
 	w.scheduled = true
-	w.eng.Defer(0, w.drain)
+	w.eng.Defer(0, w.drainFn)
 }
 
 // drain retries every parked waiter once, in FIFO arrival order. Waiters

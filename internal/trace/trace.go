@@ -91,6 +91,7 @@ func (tr *Trace) NumTasks() int {
 // (Fig. 2(a)).
 func (tr *Trace) Durations() *metrics.Sample {
 	s := metrics.NewSample()
+	s.Grow(tr.NumTasks())
 	for _, sess := range tr.Sessions {
 		for _, t := range sess.Tasks {
 			s.Add(t.Duration.Seconds())
@@ -104,6 +105,7 @@ func (tr *Trace) Durations() *metrics.Sample {
 // for Fig. 2(b).
 func (tr *Trace) IATs() *metrics.Sample {
 	s := metrics.NewSample()
+	s.Grow(tr.NumTasks() - len(tr.Sessions))
 	for _, sess := range tr.Sessions {
 		for i := 1; i < len(sess.Tasks); i++ {
 			s.Add(sess.Tasks[i].Submit.Sub(sess.Tasks[i-1].Submit).Seconds())
@@ -129,12 +131,13 @@ func (tr *Trace) ActiveSessions() *metrics.Timeline {
 		t time.Time
 		d float64
 	}
-	var evs []ev
+	evs := make([]ev, 0, 2*len(tr.Sessions))
 	for _, s := range tr.Sessions {
 		evs = append(evs, ev{s.Start, 1}, ev{s.End, -1})
 	}
 	sort.Slice(evs, func(i, j int) bool { return evs[i].t.Before(evs[j].t) })
 	tl := metrics.NewTimeline()
+	tl.Grow(len(evs))
 	for _, e := range evs {
 		tl.Delta(e.t, e.d)
 	}
@@ -148,7 +151,7 @@ func (tr *Trace) ActiveTasks() *metrics.Timeline {
 		t time.Time
 		d float64
 	}
-	var evs []ev
+	evs := make([]ev, 0, 2*tr.NumTasks())
 	for _, s := range tr.Sessions {
 		for _, t := range s.Tasks {
 			evs = append(evs, ev{t.Submit, 1}, ev{t.End(), -1})
@@ -156,6 +159,7 @@ func (tr *Trace) ActiveTasks() *metrics.Timeline {
 	}
 	sort.Slice(evs, func(i, j int) bool { return evs[i].t.Before(evs[j].t) })
 	tl := metrics.NewTimeline()
+	tl.Grow(len(evs))
 	for _, e := range evs {
 		tl.Delta(e.t, e.d)
 	}
@@ -178,6 +182,7 @@ func (tr *Trace) ReservedGPUs() *metrics.Timeline {
 		}
 		sort.Slice(evs, func(i, j int) bool { return evs[i].t.Before(evs[j].t) })
 		tl := metrics.NewTimeline()
+		tl.Grow(len(evs))
 		for _, e := range evs {
 			tl.Delta(e.t, e.d)
 		}
@@ -196,7 +201,7 @@ func (tr *Trace) UtilizedGPUs() *metrics.Timeline {
 			t time.Time
 			d float64
 		}
-		var evs []ev
+		evs := make([]ev, 0, 2*tr.NumTasks())
 		for _, s := range tr.Sessions {
 			for _, t := range s.Tasks {
 				g := float64(t.GPUs)
@@ -205,6 +210,7 @@ func (tr *Trace) UtilizedGPUs() *metrics.Timeline {
 		}
 		sort.Slice(evs, func(i, j int) bool { return evs[i].t.Before(evs[j].t) })
 		tl := metrics.NewTimeline()
+		tl.Grow(len(evs))
 		for _, e := range evs {
 			tl.Delta(e.t, e.d)
 		}
