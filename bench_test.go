@@ -187,6 +187,31 @@ func BenchmarkShardedSim(b *testing.B) {
 	b.ReportMetric(saved, "GPUh-saved")
 }
 
+// BenchmarkStreamSharded measures the bounded-memory streaming sharded
+// path at reduced scale (a 1/16 window of the 90-day million-session
+// config, ~65k sessions): two workers synthesize their exact Poisson
+// splits lazily and merge, with no materialized trace. The full-scale
+// version is the stream-million-90d-2shards benchsnap scenario and the
+// stream-scale experiment.
+func BenchmarkStreamSharded(b *testing.B) {
+	gcfg := trace.MillionSessionConfig(42)
+	gcfg.Duration /= 16
+	var sessions float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunStreamSharded(gcfg, sim.Config{
+			Policy:      sim.PolicyNotebookOS,
+			Hosts:       128,
+			LeanMetrics: true,
+			Seed:        42,
+		}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sessions = float64(res.Sessions)
+	}
+	b.ReportMetric(sessions, "sessions")
+}
+
 // BenchmarkSummerFederation runs the summer-fed experiment (the 90-day
 // trace federated; 10-day quick scale here) end-to-end.
 func BenchmarkSummerFederation(b *testing.B) { runExperiment(b, "summer-fed") }
@@ -315,7 +340,7 @@ func TestBenchCoversAllExperiments(t *testing.T) {
 		"ablation-f": true, "ablation-prewarm": true,
 		"federation": true, "fed-scale": true, "fed-penalty": true,
 		"fed-policy": true, "fed-autoscale": true, "fed-matrix": true,
-		"summer-fed": true,
+		"summer-fed": true, "stream-scale": true,
 	}
 	for _, e := range experiments.All() {
 		if !covered[e.ID] {

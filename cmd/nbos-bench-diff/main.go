@@ -22,6 +22,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 
 	"notebookos/internal/benchsnap"
 )
@@ -125,11 +126,18 @@ func main() {
 				fail("%s: metric %q missing from fresh snapshot", bs.Name, k)
 				continue
 			}
+			drift := relDrift(old, new)
+			// Metrics named *_bytes report memory footprints (peak heap):
+			// machine- and GC-timing-dependent, so they print like the
+			// timing columns but never gate.
+			if strings.HasSuffix(k, "_bytes") {
+				fmt.Printf("%-42s %-18s %16.6g %16.6g %9.4f%%  (informational)\n", bs.Name, k, old, new, drift*100)
+				continue
+			}
 			t := *tol
 			if mt, ok := metricTolerances[k]; ok {
 				t = mt
 			}
-			drift := relDrift(old, new)
 			mark := ""
 			if drift > t {
 				mark = "  << FAIL"

@@ -8,6 +8,8 @@
 //	nbos-sim -exp federation            # multi-cluster scenario family
 //	nbos-sim -exp fig12a -shards 4      # shard the trace across 4 workers
 //	nbos-sim -exp summer-fed -shards 4  # 90-day trace, federated + sharded
+//	nbos-sim -exp fig8 -stream          # simulate from a lazy session stream
+//	nbos-sim -exp stream-scale          # 90-day 1M-session bounded-memory run
 //	nbos-sim -exp all [-jobs 8]
 package main
 
@@ -29,6 +31,7 @@ func main() {
 		list   = flag.Bool("list", false, "list experiments")
 		jobs   = flag.Int("jobs", runtime.NumCPU(), "concurrent experiments for -exp all (output stays in paper order)")
 		shards = flag.Int("shards", 1, "session-partitioned trace shards per simulation (1 = unsharded; >1 merges parallel workers deterministically, see docs/ARCHITECTURE.md)")
+		stream = flag.Bool("stream", false, "synthesize sessions lazily per shard (sim.RunStreamSharded) instead of replaying a materialized trace; identical output at -shards 1, bounded memory at any scale")
 	)
 	flag.Parse()
 
@@ -43,7 +46,7 @@ func main() {
 		return
 	}
 
-	o := experiments.Options{Seed: *seed, Quick: *quick, Shards: *shards}
+	o := experiments.Options{Seed: *seed, Quick: *quick, Shards: *shards, Stream: *stream}
 	if *exp == "all" {
 		runAll(o, *jobs)
 		return

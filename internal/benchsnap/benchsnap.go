@@ -12,6 +12,8 @@
 // gate holds them to tight relative tolerances. Timing numbers (ns/op,
 // bytes/op, allocs/op) are machine- and scheduling-dependent and stay
 // informational: the diff prints their deltas but never fails on them.
+// Metrics whose name ends in _bytes (peak_heap_bytes) are informational
+// too: memory footprints vary with GC timing even for a fixed seed.
 package benchsnap
 
 import (
@@ -20,6 +22,7 @@ import (
 	"time"
 
 	"notebookos/internal/federation"
+	"notebookos/internal/metrics"
 	"notebookos/internal/sim"
 	"notebookos/internal/trace"
 )
@@ -196,6 +199,39 @@ func scenarios() []scenario {
 				tasks = float64(res.Tasks)
 			}
 			return map[string]float64{"gpuh_saved": saved, "tasks": tasks}
+		}},
+		// stream-million-90d-2shards is the scale canary: the full 90-day
+		// ~1M-session workload simulated through the bounded-memory
+		// streaming path (sim.RunStreamSharded + lean metrics) — no trace is
+		// ever materialized. Session/task counts and the reserved-GPU-hours
+		// integral are exact replays of the fixed seed and gate like any
+		// other metric; peak_heap_bytes is machine- and GC-timing-dependent
+		// and stays informational (the _bytes suffix exempts it from the
+		// drift gate), with the hard sublinearity assertion living in the
+		// sim package's TestMillionSessionStreamCanary.
+		{"stream-million-90d-2shards", func(b *testing.B, _, _ *trace.Trace) map[string]float64 {
+			var res *sim.Result
+			var err error
+			var peak uint64
+			for i := 0; i < b.N; i++ {
+				peak = metrics.PeakHeapDuring(func() {
+					res, err = sim.RunStreamSharded(trace.MillionSessionConfig(42), sim.Config{
+						Policy:      sim.PolicyNotebookOS,
+						Hosts:       128,
+						LeanMetrics: true,
+						Seed:        42,
+					}, 2)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			return map[string]float64{
+				"sessions":        float64(res.Sessions),
+				"tasks":           float64(res.Tasks),
+				"reserved_gpuh":   res.ReservedGPUHours,
+				"peak_heap_bytes": float64(peak),
+			}
 		}},
 		{"summer-fed-10d-4clusters-2shards", func(b *testing.B, _, summer *trace.Trace) map[string]float64 {
 			var res *sim.FedResult

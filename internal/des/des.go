@@ -7,6 +7,17 @@ import (
 // Handler is the work executed when an event fires.
 type Handler func()
 
+// Runner is the allocation-lean alternative to Handler: an event can carry
+// a pre-built state object whose Fire method advances it. Scheduling a
+// Handler closure allocates the closure plus its captured variables every
+// time; a Runner is typically a pointer to a struct that lives for a whole
+// task and is re-scheduled phase after phase, so a multi-phase task costs
+// one allocation total. The interface value itself is pointer-shaped, so
+// storing it in the pooled Event allocates nothing.
+type Runner interface {
+	Fire()
+}
+
 // Event is a scheduled occurrence. Cancel removes a not-yet-fired event
 // from the engine's queue; cancelling a fired event is a no-op.
 type Event struct {
@@ -18,6 +29,7 @@ type Event struct {
 	atns     int64
 	seq      int64
 	fn       Handler
+	run      Runner
 	canceled bool
 	pooled   bool
 	index    int // heap index, -1 once popped
@@ -38,6 +50,7 @@ func (e *Event) Cancel() {
 	if e.index >= 0 && e.eng != nil {
 		e.eng.remove(e.index)
 		e.fn = nil
+		e.run = nil
 	}
 }
 
@@ -165,6 +178,69 @@ func (e *Engine) Defer(d time.Duration, fn Handler) {
 	e.Schedule(e.now.Add(d), fn)
 }
 
+// lateBias pushes an event's sequence number past every normally scheduled
+// event, so late events lose all same-timestamp ties regardless of when
+// they were scheduled. Normal sequence numbers count actual schedules and
+// stay far below the bias.
+const lateBias = int64(1) << 62
+
+// ScheduleLate schedules fn at absolute time t in the late tie-break
+// class: at equal timestamps it fires after every normally scheduled
+// event, and after earlier-scheduled late events. Periodic observers
+// (sampling, autoscaling ticks) use it so that their position relative to
+// model events at the same instant does not depend on when the tick
+// happened to be scheduled — a simulation that schedules its workload up
+// front and one that schedules it lazily then interleave identically.
+func (e *Engine) ScheduleLate(t time.Time, fn Handler) {
+	if t.Before(e.now) {
+		t = e.now
+	}
+	e.seq++
+	if len(e.free) == 0 {
+		e.refill()
+	}
+	n := len(e.free) - 1
+	ev := e.free[n]
+	e.free[n] = nil
+	e.free = e.free[:n]
+	ev.at, ev.atns, ev.seq, ev.fn, ev.canceled = t, t.UnixNano(), e.seq+lateBias, fn, false
+	ev.pooled = true
+	e.push(ev)
+}
+
+// DeferLate schedules fn d from now in the late tie-break class (see
+// ScheduleLate).
+func (e *Engine) DeferLate(d time.Duration, fn Handler) {
+	e.ScheduleLate(e.now.Add(d), fn)
+}
+
+// ScheduleRunner schedules r.Fire at absolute time t without returning a
+// handle — Schedule for Runner state machines: the pooled event carries the
+// interface value directly, so re-scheduling a long-lived Runner allocates
+// nothing.
+func (e *Engine) ScheduleRunner(t time.Time, r Runner) {
+	if t.Before(e.now) {
+		t = e.now
+	}
+	e.seq++
+	if len(e.free) == 0 {
+		e.refill()
+	}
+	n := len(e.free) - 1
+	ev := e.free[n]
+	e.free[n] = nil
+	e.free = e.free[:n]
+	ev.at, ev.atns, ev.seq, ev.fn, ev.run, ev.canceled = t, t.UnixNano(), e.seq, nil, r, false
+	ev.pooled = true
+	e.push(ev)
+}
+
+// DeferRunner schedules r.Fire d from now without returning a handle (see
+// ScheduleRunner).
+func (e *Engine) DeferRunner(d time.Duration, r Runner) {
+	e.ScheduleRunner(e.now.Add(d), r)
+}
+
 // Stop makes Run/RunUntil return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
@@ -196,12 +272,17 @@ func (e *Engine) step() {
 	}
 	e.now = ev.at
 	e.steps++
-	fn := ev.fn
+	fn, run := ev.fn, ev.run
 	if ev.pooled {
 		ev.fn = nil
+		ev.run = nil
 		e.free = append(e.free, ev)
 	}
-	fn()
+	if fn != nil {
+		fn()
+	} else {
+		run.Fire()
+	}
 }
 
 // ---- event queue --------------------------------------------------------

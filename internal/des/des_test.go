@@ -310,3 +310,78 @@ func TestArenaPooledEventsRecycle(t *testing.T) {
 		t.Fatalf("free list grew to %d; pooled events are not recycling", len(e.free))
 	}
 }
+
+// stepper is a Runner that re-schedules itself a fixed number of times.
+type stepper struct {
+	e     *Engine
+	left  int
+	fired []time.Duration
+}
+
+func (s *stepper) Fire() {
+	s.fired = append(s.fired, s.e.Now().Sub(t0))
+	if s.left--; s.left > 0 {
+		s.e.DeferRunner(time.Second, s)
+	}
+}
+
+func TestRunnerInterleavesWithHandlers(t *testing.T) {
+	e := New(t0)
+	s := &stepper{e: e, left: 3}
+	e.ScheduleRunner(t0.Add(time.Second), s)
+	var handlerAt []time.Duration
+	e.Defer(90*time.Second, func() { handlerAt = append(handlerAt, e.Now().Sub(t0)) })
+	e.DeferRunner(2500*time.Millisecond, &stepper{e: e, left: 1, fired: s.fired})
+	e.Run()
+	want := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second}
+	if len(s.fired) != 3 {
+		t.Fatalf("stepper fired %d times: %v", len(s.fired), s.fired)
+	}
+	for i, w := range want {
+		if s.fired[i] != w {
+			t.Fatalf("stepper fired at %v, want %v", s.fired, want)
+		}
+	}
+	if len(handlerAt) != 1 || handlerAt[0] != 90*time.Second {
+		t.Fatalf("handler fired at %v", handlerAt)
+	}
+	if e.Steps() != 5 {
+		t.Fatalf("Steps = %d, want 5", e.Steps())
+	}
+}
+
+func TestRunnerScheduleAllocs(t *testing.T) {
+	e := New(t0)
+	e.Reserve(4)
+	s := &stepper{e: e, left: 1 << 30}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.ScheduleRunner(e.Now(), s)
+		e.step()
+	})
+	if allocs > 0 {
+		t.Fatalf("ScheduleRunner+step allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestLateEventsLoseAllTies(t *testing.T) {
+	e := New(t0)
+	var order []string
+	at := t0.Add(time.Second)
+	// A late event scheduled FIRST still fires after normal events at the
+	// same instant — including normal events scheduled afterwards.
+	e.ScheduleLate(at, func() { order = append(order, "late1") })
+	e.Schedule(at, func() { order = append(order, "a") })
+	e.DeferLate(time.Second, func() { order = append(order, "late2") })
+	e.Schedule(at, func() { order = append(order, "b") })
+	e.Schedule(at.Add(time.Second), func() { order = append(order, "next") })
+	e.Run()
+	want := []string{"a", "b", "late1", "late2", "next"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

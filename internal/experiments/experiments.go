@@ -28,6 +28,19 @@ type Options struct {
 	// <= 1 is the plain unsharded path, byte-identical to pre-sharding
 	// output.
 	Shards int
+	// Stream routes the figure experiments' policy simulations through
+	// sim.RunStreamSharded: workers synthesize their sessions lazily from
+	// the trace's generating config instead of replaying a materialized
+	// trace. At Shards <= 1 the output is identical to the materialized
+	// path (the streaming generator is byte-equivalent and the simulator's
+	// event order is pinned by test); at Shards > 1 results differ from
+	// materialized sharding because exact Poisson splitting partitions
+	// sessions differently than trace.Split. Experiments that render the
+	// trace itself (workload CDFs, reserved-GPU timelines) still
+	// materialize it; Stream governs how the simulations consume sessions.
+	// Parameter sweeps (ablations, federation grids) keep the materialized
+	// path regardless.
+	Stream bool
 }
 
 func (o Options) seed() int64 {
@@ -88,6 +101,7 @@ func All() []Experiment {
 		{"fed-autoscale", "Federation: pooled vs per-member autoscaling", FederationAutoscale},
 		{"fed-matrix", "Federation: latency-matrix shape ablation", FederationMatrix},
 		{"summer-fed", "Federation: 90-day summer trace, federated", SummerFederation},
+		{"stream-scale", "Streaming 1M-session workload, bounded memory", StreamScale},
 	}
 }
 
@@ -120,45 +134,73 @@ var (
 	traceCache = map[traceKey]*traceEntry{}
 )
 
-// excerptTrace returns the 17.5-hour excerpt (4 h in quick mode).
-func excerptTrace(o Options) *trace.Trace {
-	return cachedTrace(traceKey{"excerpt", o.seed(), o.Quick}, func() *trace.Trace {
-		cfg := trace.AdobeExcerptConfig(o.seed())
+// genConfig returns the generating config behind a named trace kind — the
+// single place the kind → GenConfig mapping lives, shared by the
+// materializing trace getters below and the streaming path in runSim
+// (which hands the config to sim.RunStreamSharded instead of generating).
+func genConfig(o Options, kind string) (trace.GenConfig, bool) {
+	var cfg trace.GenConfig
+	switch kind {
+	case "excerpt":
+		// 17.5-hour excerpt (4 h in quick mode).
+		cfg = trace.AdobeExcerptConfig(o.seed())
 		if o.Quick {
 			cfg.Duration = 4 * time.Hour
 		}
-		return trace.MustGenerate(cfg)
+	case "summer":
+		// 92-day summer trace (10 days in quick mode).
+		cfg = trace.AdobeSummerConfig(o.seed())
+		if o.Quick {
+			cfg.Duration = 10 * 24 * time.Hour
+		}
+	case "philly":
+		cfg = trace.PhillyConfig(o.seed())
+		if o.Quick {
+			cfg.Duration = 7 * 24 * time.Hour
+		}
+	case "alibaba":
+		cfg = trace.AlibabaConfig(o.seed())
+		if o.Quick {
+			cfg.Duration = 7 * 24 * time.Hour
+		}
+	default:
+		return cfg, false
+	}
+	return cfg, true
+}
+
+// mustGenConfig is genConfig for the kinds the trace getters own.
+func mustGenConfig(o Options, kind string) trace.GenConfig {
+	cfg, ok := genConfig(o, kind)
+	if !ok {
+		panic("experiments: unknown trace kind " + kind)
+	}
+	return cfg
+}
+
+// excerptTrace returns the 17.5-hour excerpt (4 h in quick mode).
+func excerptTrace(o Options) *trace.Trace {
+	return cachedTrace(traceKey{"excerpt", o.seed(), o.Quick}, func() *trace.Trace {
+		return trace.MustGenerate(mustGenConfig(o, "excerpt"))
 	})
 }
 
 // summerTrace returns the 92-day summer trace (10 days in quick mode).
 func summerTrace(o Options) *trace.Trace {
 	return cachedTrace(traceKey{"summer", o.seed(), o.Quick}, func() *trace.Trace {
-		cfg := trace.AdobeSummerConfig(o.seed())
-		if o.Quick {
-			cfg.Duration = 10 * 24 * time.Hour
-		}
-		return trace.MustGenerate(cfg)
+		return trace.MustGenerate(mustGenConfig(o, "summer"))
 	})
 }
 
 func phillyTrace(o Options) *trace.Trace {
 	return cachedTrace(traceKey{"philly", o.seed(), o.Quick}, func() *trace.Trace {
-		cfg := trace.PhillyConfig(o.seed())
-		if o.Quick {
-			cfg.Duration = 7 * 24 * time.Hour
-		}
-		return trace.MustGenerate(cfg)
+		return trace.MustGenerate(mustGenConfig(o, "philly"))
 	})
 }
 
 func alibabaTrace(o Options) *trace.Trace {
 	return cachedTrace(traceKey{"alibaba", o.seed(), o.Quick}, func() *trace.Trace {
-		cfg := trace.AlibabaConfig(o.seed())
-		if o.Quick {
-			cfg.Duration = 7 * 24 * time.Hour
-		}
-		return trace.MustGenerate(cfg)
+		return trace.MustGenerate(mustGenConfig(o, "alibaba"))
 	})
 }
 
@@ -182,6 +224,7 @@ type simKey struct {
 	seed   int64
 	quick  bool
 	shards int
+	stream bool
 }
 
 // simEntry is a singleflight cache slot: when figures run their policy
@@ -201,9 +244,15 @@ var (
 // runSim runs (with caching) one policy over the named trace. With
 // Options.Shards > 1 the run goes through sim.RunSharded; the shard count
 // is part of the cache key because sharded results are a documented
-// approximation of the unsharded ones.
+// approximation of the unsharded ones. With Options.Stream the run goes
+// through sim.RunStreamSharded on the trace kind's generating config —
+// sessions are synthesized lazily by each worker rather than replayed
+// from tr (identical output at shards <= 1, differently partitioned
+// shards otherwise).
 func runSim(o Options, kind string, tr *trace.Trace, policy sim.Policy) (*sim.Result, error) {
-	key := simKey{kind, policy, o.seed(), o.Quick, o.shards()}
+	gcfg, streamable := genConfig(o, kind)
+	stream := o.Stream && streamable
+	key := simKey{kind, policy, o.seed(), o.Quick, o.shards(), stream}
 	simMu.Lock()
 	e, ok := simCache[key]
 	if !ok {
@@ -212,12 +261,18 @@ func runSim(o Options, kind string, tr *trace.Trace, policy sim.Policy) (*sim.Re
 	}
 	simMu.Unlock()
 	e.once.Do(func() {
-		e.res, e.err = sim.RunSharded(sim.Config{
+		cfg := sim.Config{
 			Trace:  tr,
 			Policy: policy,
 			Hosts:  30,
 			Seed:   o.seed(),
-		}, o.shards())
+		}
+		if stream {
+			cfg.Trace = nil
+			e.res, e.err = sim.RunStreamSharded(gcfg, cfg, o.shards())
+			return
+		}
+		e.res, e.err = sim.RunSharded(cfg, o.shards())
 	})
 	return e.res, e.err
 }

@@ -86,7 +86,9 @@ func (d *Deployment) StartKernel(home int, kernelID, session string, req resourc
 	d.mu.Unlock()
 
 	var firstErr error
-	for _, idx := range d.policy.Order(d.fed, home) {
+	// nil scratch: StartKernel runs concurrently outside the deployment
+	// lock, so a shared scratch would race.
+	for _, idx := range d.policy.Order(d.fed, home, nil) {
 		gs, ok := d.Global(idx)
 		if !ok {
 			continue

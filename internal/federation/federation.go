@@ -123,6 +123,15 @@ func (f *Federation) Members() []*Member {
 	return append([]*Member(nil), f.members...)
 }
 
+// AppendMembers appends the member list in index order to buf and returns
+// it — Members for callers that reuse a buffer and cannot afford the
+// per-call copy allocation.
+func (f *Federation) AppendMembers(buf []*Member) []*Member {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append(buf, f.members...)
+}
+
 // Member returns the member at index i.
 func (f *Federation) Member(i int) (*Member, bool) {
 	f.mu.Lock()

@@ -113,7 +113,7 @@ func TestPenaltyZeroWithinCluster(t *testing.T) {
 
 func TestLocalFirstOrder(t *testing.T) {
 	f := newFed(t, 0, 1, 1, 1)
-	got := LocalFirst{}.Order(f, 1)
+	got := LocalFirst{}.Order(f, 1, nil)
 	want := []int{1, 0, 2}
 	for i := range want {
 		if got[i] != want[i] {
@@ -130,13 +130,13 @@ func TestLeastSubscribedPrefersIdleCluster(t *testing.T) {
 	if err := h.PlaceReplica("k/r1", gpuReq(8)); err != nil {
 		t.Fatal(err)
 	}
-	got := LeastSubscribed{}.Order(f, 0)
+	got := LeastSubscribed{}.Order(f, 0, nil)
 	if got[0] != 1 {
 		t.Errorf("Order(home=0) = %v, want member 1 first", got)
 	}
 	// Equal SRs tie-break toward home.
 	f2 := newFed(t, 0, 1, 1)
-	if got := (LeastSubscribed{}).Order(f2, 1); got[0] != 1 {
+	if got := (LeastSubscribed{}).Order(f2, 1, nil); got[0] != 1 {
 		t.Errorf("tie Order(home=1) = %v, want home first", got)
 	}
 }
@@ -155,12 +155,12 @@ func TestLatencyAwareTradesLoadAgainstPenalty(t *testing.T) {
 	}
 	// Small penalty (10 ms × weight 5 = 0.05 SR points < 1/3): remote wins.
 	f := build(10 * time.Millisecond)
-	if got := (LatencyAware{}).Order(f, 0); got[0] != 1 {
+	if got := (LatencyAware{}).Order(f, 0, nil); got[0] != 1 {
 		t.Errorf("cheap penalty: Order = %v, want remote first", got)
 	}
 	// Huge penalty (200 ms × 5 = 1.0 SR point > 1/3): home wins.
 	f = build(200 * time.Millisecond)
-	if got := (LatencyAware{}).Order(f, 0); got[0] != 0 {
+	if got := (LatencyAware{}).Order(f, 0, nil); got[0] != 0 {
 		t.Errorf("expensive penalty: Order = %v, want home first", got)
 	}
 }
@@ -230,5 +230,39 @@ func TestDeploymentRoutesAcrossGlobalSchedulers(t *testing.T) {
 	}
 	if _, _, err := d.Execute("k2", "x"); err == nil {
 		t.Fatal("Execute on stopped kernel succeeded")
+	}
+}
+
+// TestRouteScratchReuse: a reused scratch produces the same ranking as a
+// nil scratch, and the steady state allocates nothing — the federated
+// simulator ranks clusters on every placement and remote execution.
+func TestRouteScratchReuse(t *testing.T) {
+	f := newFed(t, 25*time.Millisecond, 1, 1, 1)
+	m0, _ := f.Member(0)
+	if err := m0.Cluster.Hosts()[0].PlaceReplica("k/r1", gpuReq(8)); err != nil {
+		t.Fatal(err)
+	}
+	policies := []RoutePolicy{LocalFirst{}, LeastSubscribed{}, LatencyAware{}}
+	var scratch RouteScratch
+	for _, p := range policies {
+		for home := 0; home < 3; home++ {
+			fresh := p.Order(f, home, nil)
+			reused := p.Order(f, home, &scratch)
+			if len(fresh) != len(reused) {
+				t.Fatalf("%s home=%d: len %d vs %d", p.Name(), home, len(fresh), len(reused))
+			}
+			for i := range fresh {
+				if fresh[i] != reused[i] {
+					t.Fatalf("%s home=%d: nil scratch %v, reused scratch %v", p.Name(), home, fresh, reused)
+				}
+			}
+		}
+	}
+	for _, p := range policies {
+		p := p
+		allocs := testing.AllocsPerRun(100, func() { p.Order(f, 1, &scratch) })
+		if allocs > 0 {
+			t.Errorf("%s.Order with scratch allocates %.1f per op, want 0", p.Name(), allocs)
+		}
 	}
 }

@@ -12,7 +12,58 @@ type RoutePolicy interface {
 	// Order returns every member index in preference order for work homed
 	// at member home. Callers try members in this order and skip those
 	// that cannot serve the request.
-	Order(f *Federation, home int) []int
+	//
+	// scratch, when non-nil, provides the buffers the ranking is built in:
+	// the returned slice aliases scratch and is valid only until the next
+	// Order call with the same scratch. Hot paths that rank on every task
+	// (the federated simulator routes hundreds of thousands of placements
+	// per run) pass a per-caller scratch and never allocate; one-shot or
+	// concurrent callers pass nil and get a fresh slice. A scratch must not
+	// be shared across goroutines.
+	Order(f *Federation, home int, scratch *RouteScratch) []int
+}
+
+// RouteScratch holds the reusable buffers a RoutePolicy ranks in — the
+// index permutation, the per-member scores, and the sort.Interface state —
+// so repeated Order calls on a hot path allocate nothing after the first.
+// The zero value is ready to use.
+type RouteScratch struct {
+	sorter  scoreSorter
+	members []*Member
+}
+
+// grow readies the scratch for n members and returns the index slice.
+func (s *RouteScratch) grow(n int) []int {
+	if cap(s.sorter.idx) < n {
+		s.sorter.idx = make([]int, n)
+		s.sorter.vals = make([]float64, n)
+	}
+	s.sorter.idx = s.sorter.idx[:n]
+	s.sorter.vals = s.sorter.vals[:n]
+	return s.sorter.idx
+}
+
+// scoreSorter is the stable sort.Interface behind orderByScore. Sorting
+// through a *scoreSorter held inside a RouteScratch keeps sort.Stable
+// allocation-free: the interface value is a pointer to long-lived state,
+// unlike sort.SliceStable's per-call closure.
+type scoreSorter struct {
+	idx  []int
+	vals []float64
+	home int
+}
+
+func (s *scoreSorter) Len() int      { return len(s.idx) }
+func (s *scoreSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+func (s *scoreSorter) Less(a, b int) bool {
+	i, j := s.idx[a], s.idx[b]
+	if s.vals[i] != s.vals[j] {
+		return s.vals[i] < s.vals[j]
+	}
+	if (i == s.home) != (j == s.home) {
+		return i == s.home
+	}
+	return i < j
 }
 
 // LocalFirst routes to the home cluster first and only spills to other
@@ -24,9 +75,12 @@ type LocalFirst struct{}
 func (LocalFirst) Name() string { return "local-first" }
 
 // Order implements RoutePolicy.
-func (LocalFirst) Order(f *Federation, home int) []int {
+func (LocalFirst) Order(f *Federation, home int, scratch *RouteScratch) []int {
+	if scratch == nil {
+		scratch = &RouteScratch{}
+	}
 	n := f.NumMembers()
-	out := make([]int, 0, n)
+	out := scratch.grow(n)[:0]
 	if home >= 0 && home < n {
 		out = append(out, home)
 	}
@@ -47,8 +101,8 @@ type LeastSubscribed struct{}
 func (LeastSubscribed) Name() string { return "least-subscribed" }
 
 // Order implements RoutePolicy.
-func (LeastSubscribed) Order(f *Federation, home int) []int {
-	return orderByScore(f, home, func(m *Member) float64 {
+func (LeastSubscribed) Order(f *Federation, home int, scratch *RouteScratch) []int {
+	return orderByScore(f, home, scratch, func(m *Member) float64 {
 		return clusterSR(m)
 	})
 }
@@ -80,12 +134,12 @@ const DefaultLatencyWeight = 5.0
 func (LatencyAware) Name() string { return "latency-aware" }
 
 // Order implements RoutePolicy.
-func (p LatencyAware) Order(f *Federation, home int) []int {
+func (p LatencyAware) Order(f *Federation, home int, scratch *RouteScratch) []int {
 	w := p.Weight
 	if w <= 0 {
 		w = DefaultLatencyWeight
 	}
-	return orderByScore(f, home, func(m *Member) float64 {
+	return orderByScore(f, home, scratch, func(m *Member) float64 {
 		return clusterSR(m) + w*f.RoundTrip(home, m.Index).Seconds()/2
 	})
 }
@@ -102,26 +156,20 @@ func clusterSR(m *Member) float64 {
 }
 
 // orderByScore sorts member indexes by ascending score with deterministic
-// tie-breaking: home first, then lower index.
-func orderByScore(f *Federation, home int, score func(*Member) float64) []int {
-	members := f.Members()
-	vals := make([]float64, len(members))
+// tie-breaking: home first, then lower index. The result lives in scratch
+// (a fresh one when nil).
+func orderByScore(f *Federation, home int, scratch *RouteScratch, score func(*Member) float64) []int {
+	if scratch == nil {
+		scratch = &RouteScratch{}
+	}
+	scratch.members = f.AppendMembers(scratch.members[:0])
+	members := scratch.members
+	out := scratch.grow(len(members))
 	for i, m := range members {
-		vals[i] = score(m)
-	}
-	out := make([]int, len(members))
-	for i := range out {
 		out[i] = i
+		scratch.sorter.vals[i] = score(m)
 	}
-	sort.SliceStable(out, func(a, b int) bool {
-		i, j := out[a], out[b]
-		if vals[i] != vals[j] {
-			return vals[i] < vals[j]
-		}
-		if (i == home) != (j == home) {
-			return i == home
-		}
-		return i < j
-	})
+	scratch.sorter.home = home
+	sort.Stable(&scratch.sorter)
 	return out
 }

@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"runtime"
+	"time"
+)
+
+// PeakHeapDuring runs f and returns the high-water runtime.ReadMemStats
+// HeapAlloc (bytes) observed while it ran, sampled from a background
+// goroutine a few hundred times per second. It garbage-collects before
+// starting so the reading reflects f, not leftovers from the caller.
+//
+// The sampler is the measurement half of the bounded-memory contract the
+// streaming simulation makes (see sim.RunStreamSharded): scale canaries
+// wrap a run in PeakHeapDuring and assert the peak stays bounded by
+// session concurrency rather than total session count. Sampling is
+// coarse, but allocation in a long simulation is steady enough that the
+// high-water mark is stable to well within the factor-scale bounds those
+// canaries assert.
+func PeakHeapDuring(f func()) uint64 {
+	runtime.GC()
+	read := func() uint64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return m.HeapAlloc
+	}
+	peak := read()
+	done := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				if h := read(); h > peak {
+					peak = h
+				}
+			}
+		}
+	}()
+	f()
+	close(done)
+	<-sampled
+	if h := read(); h > peak {
+		peak = h
+	}
+	return peak
+}

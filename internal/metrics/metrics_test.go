@@ -292,3 +292,79 @@ func TestBillingModel(t *testing.T) {
 		t.Errorf("DefaultBilling = %+v", d)
 	}
 }
+
+func TestCoalescedTimeline(t *testing.T) {
+	g := 15 * time.Second
+	tl := NewCoalescedTimeline(g)
+	base := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	// Five deltas inside one 15s bucket collapse to one point carrying the
+	// bucket's final cumulative value.
+	for i := 0; i < 5; i++ {
+		tl.Delta(base.Add(time.Duration(i)*2*time.Second), 1)
+	}
+	tl.Delta(base.Add(16*time.Second), -2)
+	if tl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tl.Len())
+	}
+	if got := tl.At(base.Add(14 * time.Second)); got != 5 {
+		t.Errorf("At(+14s) = %v, want 5", got)
+	}
+	if got := tl.At(base.Add(20 * time.Second)); got != 3 {
+		t.Errorf("At(+20s) = %v, want 3", got)
+	}
+	// Quantization floors, so the second point sits at +15s exactly.
+	if got := tl.At(base.Add(15 * time.Second)); got != 3 {
+		t.Errorf("At(+15s) = %v, want 3", got)
+	}
+}
+
+func TestCoalescedTimelineBoundedPoints(t *testing.T) {
+	g := time.Minute
+	tl := NewCoalescedTimeline(g)
+	base := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	span := 2 * time.Hour
+	for d := time.Duration(0); d < span; d += time.Second {
+		tl.Delta(base.Add(d), 1)
+	}
+	if max := int(span/g) + 1; tl.Len() > max {
+		t.Fatalf("coalesced timeline stored %d points, bound is %d", tl.Len(), max)
+	}
+	if got := tl.Last(); got != 7200 {
+		t.Fatalf("Last = %v, want 7200", got)
+	}
+}
+
+func TestReservoirSample(t *testing.T) {
+	s := NewSample()
+	s.Reservoir(100, 7)
+	for i := 0; i < 10000; i++ {
+		s.Add(float64(i))
+	}
+	if s.N() != 10000 {
+		t.Fatalf("N = %d, want 10000", s.N())
+	}
+	if got := len(s.Values()); got != 100 {
+		t.Fatalf("kept %d values, want 100", got)
+	}
+	// Extrema stay exact even when evicted from the reservoir.
+	if s.Min() != 0 || s.Max() != 9999 {
+		t.Fatalf("min/max = %v/%v, want 0/9999", s.Min(), s.Max())
+	}
+	// The kept subset is a uniform draw: the median estimate should land
+	// near the true median (loose bound; the draw is seeded and stable).
+	if p50 := s.Percentile(50); p50 < 2500 || p50 > 7500 {
+		t.Fatalf("p50 = %v, far from 5000", p50)
+	}
+	// Deterministic across runs with the same seed.
+	s2 := NewSample()
+	s2.Reservoir(100, 7)
+	for i := 0; i < 10000; i++ {
+		s2.Add(float64(i))
+	}
+	v1, v2 := s.Values(), s2.Values()
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("reservoir not deterministic at %d: %v vs %v", i, v1[i], v2[i])
+		}
+	}
+}

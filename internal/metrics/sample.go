@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"strings"
 )
@@ -20,6 +21,11 @@ type Sample struct {
 	sorted bool
 	min    float64
 	max    float64
+	// Reservoir mode (see Reservoir): resCap bounds len(xs), resN counts
+	// every observation ever Added, resRng drives the eviction draws.
+	resCap int
+	resN   int
+	resRng *rand.Rand
 }
 
 // NewSample returns an empty sample, optionally seeded with xs.
@@ -44,12 +50,32 @@ func (s *Sample) Grow(n int) {
 	}
 }
 
+// Reservoir switches the sample to bounded-memory reservoir mode: at most
+// cap observations are kept, each of the N observations ever Added having
+// kept-probability cap/N (Vitter's algorithm R), with eviction driven by
+// the given seed so runs reproduce. Min, Max, and N stay exact over every
+// observation; percentiles, Mean, and Sum become estimates over the kept
+// subset. Must be called while the sample is empty. The streaming
+// simulator's lean mode uses this to keep million-task latency
+// distributions at a fixed footprint.
+func (s *Sample) Reservoir(cap int, seed int64) {
+	if len(s.xs) > 0 {
+		panic("metrics: Reservoir on a non-empty sample")
+	}
+	if cap <= 0 {
+		cap = 1
+	}
+	s.resCap = cap
+	s.resRng = rand.New(rand.NewSource(seed))
+	s.Grow(cap)
+}
+
 // Add records one or more observations.
 func (s *Sample) Add(xs ...float64) {
 	if len(xs) == 0 {
 		return
 	}
-	if len(s.xs) == 0 {
+	if len(s.xs) == 0 && (s.resCap == 0 || s.resN == 0) {
 		s.min, s.max = xs[0], xs[0]
 	}
 	for _, x := range xs {
@@ -60,12 +86,30 @@ func (s *Sample) Add(xs ...float64) {
 			s.max = x
 		}
 	}
+	if s.resCap > 0 {
+		for _, x := range xs {
+			s.resN++
+			if len(s.xs) < s.resCap {
+				s.xs = append(s.xs, x)
+			} else if j := s.resRng.Intn(s.resN); j < s.resCap {
+				s.xs[j] = x
+			}
+		}
+		s.sorted = false
+		return
+	}
 	s.xs = append(s.xs, xs...)
 	s.sorted = false
 }
 
-// N returns the number of observations.
-func (s *Sample) N() int { return len(s.xs) }
+// N returns the number of observations (every observation ever Added, even
+// those a reservoir evicted).
+func (s *Sample) N() int {
+	if s.resCap > 0 {
+		return s.resN
+	}
+	return len(s.xs)
+}
 
 func (s *Sample) sort() {
 	if !s.sorted {

@@ -25,10 +25,31 @@ import (
 type Timeline struct {
 	times  []int64 // Unix nanoseconds, non-decreasing
 	values []float64
+	// coalesce, when positive, floor-quantizes every timestamp to a
+	// multiple of this many nanoseconds, so consecutive points landing in
+	// the same bucket collapse into one (Set overwrite). See
+	// NewCoalescedTimeline.
+	coalesce int64
 }
 
 // NewTimeline returns an empty timeline.
 func NewTimeline() *Timeline { return &Timeline{} }
+
+// NewCoalescedTimeline returns a timeline that floor-quantizes timestamps
+// to multiples of g, collapsing every point within one bucket into the
+// bucket's last value. A delta series over an N-task workload normally
+// stores 2N points; coalesced at the sampling period it stores at most
+// span/g — bounded by the window, not the workload, which is what keeps a
+// streaming million-session run's memory flat. Quantization flooring is
+// monotone, so non-decreasing inputs stay non-decreasing; integrals drift
+// only within one bucket's width per step edge. g <= 0 is a plain timeline.
+func NewCoalescedTimeline(g time.Duration) *Timeline {
+	tl := &Timeline{}
+	if g > 0 {
+		tl.coalesce = int64(g)
+	}
+	return tl
+}
 
 // Grow ensures capacity for at least n additional points without
 // reallocating. Simulations call it with hints derived from the trace
@@ -59,6 +80,17 @@ func (tl *Timeline) Set(t time.Time, v float64) {
 }
 
 func (tl *Timeline) set(tns int64, v float64) {
+	if tl.coalesce > 0 {
+		// Floor toward negative infinity so pre-epoch timestamps (never
+		// produced by the simulators, but cheap to get right) quantize
+		// monotonically too.
+		if r := tns % tl.coalesce; r != 0 {
+			if r < 0 {
+				r += tl.coalesce
+			}
+			tns -= r
+		}
+	}
 	n := len(tl.times)
 	if n > 0 && tns < tl.times[n-1] {
 		panic(fmt.Sprintf("metrics: timeline time moved backwards: %v < %v",

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"iter"
 	"math"
 	"math/rand"
 	"time"
@@ -89,8 +90,19 @@ const NoInterClusterPenalty time.Duration = -1
 // baselines have nothing to route).
 type FedConfig struct {
 	// Trace is the shared arrival stream; sessions are assigned home
-	// clusters round-robin in trace order.
+	// clusters round-robin in trace order. Exactly one of Trace and Source
+	// must be set.
 	Trace *trace.Trace
+	// Source is a lazily-iterated session stream used in place of Trace
+	// (see Config.Source): sessions are admitted as virtual time reaches
+	// them, keeping memory bounded by concurrency rather than trace size.
+	Source trace.Source
+	// LeanMetrics bounds the result's memory by the simulated window (see
+	// Config.LeanMetrics): coalesced timelines, reservoir samples.
+	LeanMetrics bool
+	// LeanSampleCap is the per-distribution reservoir size under
+	// LeanMetrics (default 4096).
+	LeanSampleCap int
 	// Clusters are the member clusters (default: two 15-host clusters).
 	Clusters []FedClusterSpec
 	// Route ranks clusters for placements and migrations (default
@@ -149,8 +161,14 @@ type FedConfig struct {
 }
 
 func (c *FedConfig) withDefaults() error {
-	if c.Trace == nil {
-		return fmt.Errorf("sim: federated config requires Trace")
+	if c.Trace == nil && c.Source == nil {
+		return fmt.Errorf("sim: federated config requires Trace or Source")
+	}
+	if c.Trace != nil && c.Source != nil {
+		return fmt.Errorf("sim: federated config requires exactly one of Trace and Source")
+	}
+	if c.LeanMetrics && c.LeanSampleCap <= 0 {
+		c.LeanSampleCap = 4096
 	}
 	if len(c.Clusters) == 0 {
 		c.Clusters = DefaultFedClusters(2, 30)
@@ -372,7 +390,22 @@ type fedSim struct {
 	// snapshot fills every interval (one slice for the whole run instead
 	// of one per tick — 90-day runs make tens of thousands of ticks).
 	loads []federation.MemberLoad
+	// route is the reusable ranking scratch for the route policy — the
+	// event loop is single-threaded and ranks clusters on every placement
+	// and remote execution, so one scratch serves the whole run.
+	route federation.RouteScratch
 	res   *FedResult
+
+	// Streaming state (see Config.Source and sim's matching fields).
+	start, end time.Time
+	streaming  bool
+	wr         *rand.Rand
+	// homeSeq counts admitted sessions for round-robin home assignment.
+	homeSeq int
+	pull    func() (*trace.Session, bool)
+	srcErr  error
+	// reserved integrates reserved GPUs online when streaming.
+	reserved gpuHoursAcc
 }
 
 // RunFederated executes a federated simulation and returns its result.
@@ -381,7 +414,12 @@ func RunFederated(cfg FedConfig) (*FedResult, error) {
 	if err := cfg.withDefaults(); err != nil {
 		return nil, err
 	}
-	eng := des.New(cfg.Trace.Start)
+	src := cfg.Source
+	if src == nil {
+		src = cfg.Trace.AsSource()
+	}
+	start, end := src.Window()
+	eng := des.New(start)
 	s := &fedSim{
 		cfg:       cfg,
 		eng:       eng,
@@ -390,11 +428,31 @@ func RunFederated(cfg FedConfig) (*FedResult, error) {
 		placement: scheduler.LeastLoaded{SRHighWatermark: cfg.SRHighWatermark},
 		byHost:    map[*cluster.Host]*fedHost{},
 		waitq:     newCapacityWaitQueue(eng),
-		res: &FedResult{
-			ActiveSessions: metrics.NewTimeline(),
-			Interactivity:  metrics.NewSample(),
-			TCT:            metrics.NewSample(),
-		},
+		start:     start,
+		end:       end,
+		streaming: cfg.Source != nil,
+		wr:        rand.New(rand.NewSource(cfg.Seed + 2)),
+	}
+	s.reserved.lastNS = start.UnixNano()
+	// Lean mode swaps the unbounded recorders for window-bounded ones (see
+	// Run): coalesced timelines, seeded reservoir samples.
+	newTL := metrics.NewTimeline
+	if cfg.LeanMetrics {
+		newTL = func() *metrics.Timeline { return metrics.NewCoalescedTimeline(cfg.SampleEvery) }
+	}
+	sampleSeq := cfg.Seed + 1000
+	newSample := func() *metrics.Sample {
+		sm := metrics.NewSample()
+		if cfg.LeanMetrics {
+			sampleSeq++
+			sm.Reservoir(cfg.LeanSampleCap, sampleSeq)
+		}
+		return sm
+	}
+	s.res = &FedResult{
+		ActiveSessions: newTL(),
+		Interactivity:  newSample(),
+		TCT:            newSample(),
 	}
 	for i, spec := range cfg.Clusters {
 		c := cluster.New(cfg.ReplicasPerKernel)
@@ -406,8 +464,8 @@ func RunFederated(cfg FedConfig) (*FedResult, error) {
 			c:    c,
 			res: &FedClusterResult{
 				Name:            spec.Name,
-				ProvisionedGPUs: metrics.NewTimeline(),
-				CommittedGPUs:   metrics.NewTimeline(),
+				ProvisionedGPUs: newTL(),
+				CommittedGPUs:   newTL(),
 			},
 		}
 		s.members = append(s.members, m)
@@ -433,44 +491,62 @@ func RunFederated(cfg FedConfig) (*FedResult, error) {
 	// Any member's capacity-freeing transition wakes the shared queue.
 	s.fed.SetCapacityNotifier(s.waitq.Notify)
 
-	// Pre-size metric columns from the trace (see Run): the federation-wide
-	// series get exact hints; per-member delta series split the task total
-	// evenly — an estimate, so a hot member may still grow, but the bulk of
-	// the column is allocated once.
-	sessions := len(cfg.Trace.Sessions)
-	numTasks := cfg.Trace.NumTasks()
-	ticks := int(cfg.Trace.End.Sub(cfg.Trace.Start)/cfg.SampleEvery) + 2
-	s.res.ActiveSessions.Grow(2 * sessions)
-	s.res.Interactivity.Grow(numTasks)
-	s.res.TCT.Grow(numTasks)
-	for _, m := range s.members {
-		m.res.ProvisionedGPUs.Grow(ticks + 64)
-		m.res.CommittedGPUs.Grow(2*numTasks/len(s.members) + 16)
-	}
-	s.eng.Reserve(2*sessions + numTasks + 16)
-
-	wr := rand.New(rand.NewSource(cfg.Seed + 2))
-	for i, sess := range cfg.Trace.Sessions {
-		sess := sess
-		ss := &fedSession{
-			src:    sess,
-			req:    sess.Request,
-			assig:  workload.Assign(wr),
-			home:   i % len(s.members),
-			holder: "fed/" + sess.ID,
+	// Pre-size metric columns from the source's expectation (see Run): for
+	// a materialized trace the federation-wide series get exact hints;
+	// per-member delta series split the task total evenly — an estimate, so
+	// a hot member may still grow, but the bulk of the column is allocated
+	// once. Lean recorders bound themselves and skip the hints.
+	exp := src.Expect()
+	sessions, numTasks := exp.Sessions, exp.Tasks
+	ticks := int(end.Sub(start)/cfg.SampleEvery) + 2
+	if !cfg.LeanMetrics {
+		s.res.ActiveSessions.Grow(2 * sessions)
+		s.res.Interactivity.Grow(numTasks)
+		s.res.TCT.Grow(numTasks)
+		for _, m := range s.members {
+			m.res.ProvisionedGPUs.Grow(ticks + 64)
+			m.res.CommittedGPUs.Grow(2*numTasks/len(s.members) + 16)
 		}
-		s.members[ss.home].res.HomeSessions++
-		s.eng.Schedule(sess.Start, func() { s.sessionStart(ss) })
-		s.eng.Schedule(sess.End, func() { s.sessionEnd(ss) })
-		for _, task := range sess.Tasks {
-			task := task
-			s.eng.Schedule(task.Submit, func() { s.taskArrive(ss, task) })
+	}
+
+	if s.streaming {
+		// Lazy admission (see the single-cluster injector): one event pulls
+		// session after session, so pending events track concurrency.
+		next, stop := iter.Pull(func(yield func(*trace.Session) bool) {
+			s.srcErr = src.Sessions(yield)
+		})
+		defer stop()
+		s.pull = next
+		if first, ok := next(); ok {
+			s.eng.ScheduleRunner(first.Start, &fedInjector{s: s, sess: first})
+		}
+	} else {
+		s.eng.Reserve(2*sessions + numTasks + 16)
+		for i, sess := range cfg.Trace.Sessions {
+			sess := sess
+			ss := &fedSession{
+				src:    sess,
+				req:    sess.Request,
+				assig:  workload.Assign(s.wr),
+				home:   i % len(s.members),
+				holder: "fed/" + sess.ID,
+			}
+			s.members[ss.home].res.HomeSessions++
+			s.eng.Schedule(sess.Start, func() { s.sessionStart(ss) })
+			s.eng.Schedule(sess.End, func() { s.sessionEnd(ss) })
+			for _, task := range sess.Tasks {
+				task := task
+				s.eng.Schedule(task.Submit, func() { s.taskArrive(ss, task) })
+			}
 		}
 	}
 
 	s.scheduleSampling()
 	s.scheduleAutoscale()
-	s.eng.RunUntil(cfg.Trace.End.Add(24 * time.Hour))
+	s.eng.RunUntil(end.Add(24 * time.Hour))
+	if s.srcErr != nil {
+		return nil, s.srcErr
+	}
 	s.finalize()
 	return s.res, nil
 }
@@ -495,7 +571,7 @@ func (s *fedSim) addHost(member int) *fedHost {
 // placeSession places the session's R replicas within a single cluster,
 // trying clusters in route-policy order.
 func (s *fedSim) placeSession(ss *fedSession) bool {
-	for _, idx := range s.cfg.Route.Order(s.fed, ss.home) {
+	for _, idx := range s.cfg.Route.Order(s.fed, ss.home, &s.route) {
 		m := s.members[idx]
 		hosts, err := s.placement.SelectHosts(m.c, ss.req, s.cfg.ReplicasPerKernel)
 		if err != nil {
@@ -519,6 +595,7 @@ func (s *fedSim) placeSession(ss *fedSession) bool {
 
 func (s *fedSim) sessionStart(ss *fedSession) {
 	s.res.ActiveSessions.Delta(s.now(), 1)
+	s.reserved.bump(s.now().UnixNano(), float64(ss.req.GPUs))
 	if s.placeSession(ss) {
 		return
 	}
@@ -541,6 +618,7 @@ func (s *fedSim) sessionEnd(ss *fedSession) {
 	}
 	ss.closed = true
 	s.res.ActiveSessions.Delta(s.now(), -1)
+	s.reserved.bump(s.now().UnixNano(), -float64(ss.req.GPUs))
 	for i, fh := range ss.hosts {
 		_ = fh.h.RemoveReplica(ss.replicaKeyFor(i + 1))
 	}
@@ -636,22 +714,10 @@ func (s *fedSim) tryTask(ss *fedSession, task trace.Task, submit time.Time) bool
 		lat.Hop(s.rng) + lat.Hop(s.rng) +
 		wan
 
-	member := fh.member
-	// The nested closures reach latency models through s (captured anyway)
-	// rather than the lat local: capturing the whole Latencies struct would
-	// heap-box a copy of it per task.
-	s.eng.Schedule(submit.Add(delay), func() {
-		s.markTraining(member, task, true)
-		s.eng.Defer(task.Duration, func() {
-			off := s.cfg.Latencies.Transfer.OffloadTime(ss.assig.Model.ParamBytes)
-			ret := s.cfg.Latencies.Hop(s.rng)
-			s.eng.Defer(off+ret, func() {
-				s.markTraining(member, task, false)
-				_ = fh.h.Release(holder)
-				s.finishTask(ss, submit, delay)
-			})
-		})
-	})
+	// The pipeline runs as a fedTask state machine: one allocation per
+	// task, re-scheduled phase after phase through pooled Runner events.
+	s.eng.ScheduleRunner(submit.Add(delay),
+		&fedTask{s: s, ss: ss, task: task, submit: submit, fh: fh, delay: delay})
 	return true
 }
 
@@ -670,7 +736,7 @@ func (s *fedSim) tryFedMigrate(ss *fedSession, task trace.Task, submit time.Time
 	electionCost := lat.Election(s.rng)
 
 	var target *fedHost
-	for _, idx := range s.cfg.Route.Order(s.fed, ss.home) {
+	for _, idx := range s.cfg.Route.Order(s.fed, ss.home, &s.route) {
 		bestIdle := -1
 		for _, fh := range s.members[idx].hosts {
 			if fedHostsContain(ss.hosts, fh) || !fh.h.CanCommit(req) {
@@ -767,11 +833,11 @@ func (s *fedSim) scheduleSampling() {
 	var tick func()
 	tick = func() {
 		s.sampleProvisioned()
-		if s.now().Before(s.cfg.Trace.End) {
-			s.eng.Defer(s.cfg.SampleEvery, tick)
+		if s.now().Before(s.end) {
+			s.eng.DeferLate(s.cfg.SampleEvery, tick)
 		}
 	}
-	s.eng.Defer(0, tick)
+	s.eng.DeferLate(0, tick)
 }
 
 func (s *fedSim) sampleProvisioned() {
@@ -791,11 +857,11 @@ func (s *fedSim) scheduleAutoscale() {
 				s.autoscaleMember(i)
 			}
 		}
-		if s.now().Before(s.cfg.Trace.End) {
-			s.eng.Defer(s.cfg.AutoscaleInterval, tick)
+		if s.now().Before(s.end) {
+			s.eng.DeferLate(s.cfg.AutoscaleInterval, tick)
 		}
 	}
-	s.eng.Defer(s.cfg.AutoscaleInterval, tick)
+	s.eng.DeferLate(s.cfg.AutoscaleInterval, tick)
 }
 
 // autoscalePooled runs one pooled evaluation: snapshot every member's O(1)
@@ -932,7 +998,7 @@ func (s *fedSim) autoscaleMember(idx int) {
 
 // finalize merges the per-cluster series and computes integrated hours.
 func (s *fedSim) finalize() {
-	start, end := s.cfg.Trace.Start, s.cfg.Trace.End
+	start, end := s.start, s.end
 	prov := make([]*metrics.Timeline, len(s.members))
 	comm := make([]*metrics.Timeline, len(s.members))
 	for i, m := range s.members {
@@ -944,5 +1010,9 @@ func (s *fedSim) finalize() {
 	s.res.CommittedGPUs = metrics.MergeTimelines(comm...)
 	s.res.ActiveGPUHours = s.res.CommittedGPUs.Integral(start, end)
 	s.res.ProvisionedGPUHours = s.res.ProvisionedGPUs.Integral(start, end)
-	s.res.ReservedGPUHours = s.cfg.Trace.ReservedGPUs().Integral(start, end)
+	if s.streaming {
+		s.res.ReservedGPUHours = s.reserved.finish(end.UnixNano())
+	} else {
+		s.res.ReservedGPUHours = s.cfg.Trace.ReservedGPUs().Integral(start, end)
+	}
 }

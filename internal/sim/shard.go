@@ -9,18 +9,20 @@ import (
 
 // ShardSeed derives the seed for shard index i from a run seed as
 // seed ^ splitmix64(i) — the one shared helper every sharded path
-// (RunSharded, RunFederatedSharded) uses, so sharded experiment output is
-// reproducible under any worker scheduling: the shard's randomness is a
-// pure function of (run seed, shard index), never of which goroutine ran
-// first. splitmix64 decorrelates consecutive indices; the raw XOR of a
-// small index would only flip low bits and keep the shards' rand streams
-// nearly in lockstep.
+// (RunSharded, RunFederatedSharded, and the streaming generators via
+// trace.ShardSeed, which now owns the implementation) uses, so sharded
+// experiment output is reproducible under any worker scheduling: the
+// shard's randomness is a pure function of (run seed, shard index), never
+// of which goroutine ran first.
 func ShardSeed(seed int64, shard int) int64 {
-	return seed ^ int64(splitmix64(uint64(shard)))
+	return trace.ShardSeed(seed, shard)
 }
 
 // splitmix64 is the finalizer of Vigna's SplitMix64 generator — a cheap,
-// well-mixed 64-bit hash.
+// well-mixed 64-bit hash. It decorrelates consecutive shard indices; the
+// raw XOR of a small index would only flip low bits and keep the shards'
+// rand streams nearly in lockstep. Kept here (mirroring trace.splitmix64)
+// so sim's own tests pin the hash this package's seeds depend on.
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
@@ -173,6 +175,7 @@ func MergeResults(results ...*Result) *Result {
 	out.Events = mergeEvents(results, events)
 
 	for _, r := range results {
+		out.Sessions += r.Sessions
 		out.Tasks += r.Tasks
 		out.ImmediateCommits += r.ImmediateCommits
 		out.ExecutorReuse += r.ExecutorReuse

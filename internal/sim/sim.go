@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"iter"
 	"math"
 	"math/rand"
 	"strconv"
@@ -58,8 +59,26 @@ func Steps() []Step {
 
 // Config parameterizes one simulation run.
 type Config struct {
-	// Trace is the workload to replay.
+	// Trace is the workload to replay. Exactly one of Trace and Source must
+	// be set.
 	Trace *trace.Trace
+	// Source is a lazily-iterated session stream (see trace.Source) used in
+	// place of Trace: sessions are admitted into the simulation one at a
+	// time, in arrival order, as virtual time reaches them, so the full
+	// workload never needs to exist in memory. A materialized Trace and its
+	// AsSource adapter produce byte-identical results; a trace.StreamGen
+	// synthesizes the sessions on the fly.
+	Source trace.Source
+	// LeanMetrics bounds the result's memory by the simulated window instead
+	// of the workload size: delta timelines coalesce at SampleEvery
+	// resolution, distribution samples keep a seeded reservoir of
+	// LeanSampleCap observations (min/max/N stay exact), and the Fig. 10
+	// event record is skipped. Required for bounded-memory million-session
+	// streaming runs; off by default.
+	LeanMetrics bool
+	// LeanSampleCap is the per-distribution reservoir size under LeanMetrics
+	// (default 4096).
+	LeanSampleCap int
 	// Policy is the baseline to simulate.
 	Policy Policy
 	// Hosts is the initial server count (paper: 30 8-GPU VMs).
@@ -90,8 +109,14 @@ type Config struct {
 }
 
 func (c *Config) withDefaults() error {
-	if c.Trace == nil {
-		return fmt.Errorf("sim: config requires Trace")
+	if c.Trace == nil && c.Source == nil {
+		return fmt.Errorf("sim: config requires Trace or Source")
+	}
+	if c.Trace != nil && c.Source != nil {
+		return fmt.Errorf("sim: config requires exactly one of Trace and Source")
+	}
+	if c.LeanMetrics && c.LeanSampleCap <= 0 {
+		c.LeanSampleCap = 4096
 	}
 	if c.Policy == "" {
 		c.Policy = PolicyNotebookOS
@@ -166,8 +191,10 @@ type Result struct {
 	ReadLatency   *metrics.Sample          // seconds
 	WriteLatency  *metrics.Sample          // seconds
 
-	// Events and counters (Fig. 10, §5.3.2).
+	// Events and counters (Fig. 10, §5.3.2). Events is nil under
+	// Config.LeanMetrics.
 	Events           []Event
+	Sessions         int
 	Tasks            int
 	ImmediateCommits int
 	ExecutorReuse    int
@@ -237,8 +264,26 @@ type sim struct {
 	policy  scheduler.PlacementPolicy
 	res     *Result
 
-	sessions map[string]*simSession
-	hostSeq  int
+	// start/end bound the simulated window (the trace's or the source's).
+	start, end time.Time
+	// streaming is set when sessions arrive lazily from cfg.Source; lean
+	// mirrors cfg.LeanMetrics for the hot recording paths.
+	streaming bool
+	lean      bool
+	// kind is the holder-key namespace, wr the workload-assignment stream
+	// (shared by the up-front loop and the lazy injector so both draw in
+	// arrival order).
+	kind string
+	wr   *rand.Rand
+	// pull yields the source's next session under streaming; srcErr holds
+	// the source's iteration error once the stream is exhausted.
+	pull   func() (*trace.Session, bool)
+	srcErr error
+	// reserved integrates reserved GPUs (session request sizes over session
+	// lifetimes) online, replacing the trace-scan integral when streaming.
+	reserved gpuHoursAcc
+
+	hostSeq int
 	// hostList mirrors the cluster membership in insertion order and
 	// carries warm-pool counts.
 	hostList []*simHost
@@ -310,81 +355,128 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.withDefaults(); err != nil {
 		return nil, err
 	}
-	eng := des.New(cfg.Trace.Start)
+	src := cfg.Source
+	if src == nil {
+		src = cfg.Trace.AsSource()
+	}
+	start, end := src.Window()
+	eng := des.New(start)
 	s := &sim{
-		cfg:      cfg,
-		eng:      eng,
-		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
-		cluster:  cluster.New(cfg.ReplicasPerKernel),
-		policy:   scheduler.LeastLoaded{SRHighWatermark: cfg.SRHighWatermark},
-		sessions: map[string]*simSession{},
-		waitq:    newCapacityWaitQueue(eng),
-		res: &Result{
-			Policy:          cfg.Policy,
-			ProvisionedGPUs: metrics.NewTimeline(),
-			CommittedGPUs:   metrics.NewTimeline(),
-			ActiveSessions:  metrics.NewTimeline(),
-			ActiveTrainings: metrics.NewTimeline(),
-			SR:              metrics.NewTimeline(),
-			Interactivity:   metrics.NewSample(),
-			TCT:             metrics.NewSample(),
-			StepLatency:     map[Step]*metrics.Sample{},
-			SyncLatency:     metrics.NewSample(),
-			ReadLatency:     metrics.NewSample(),
-			WriteLatency:    metrics.NewSample(),
-		},
+		cfg:       cfg,
+		eng:       eng,
+		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
+		cluster:   cluster.New(cfg.ReplicasPerKernel),
+		policy:    scheduler.LeastLoaded{SRHighWatermark: cfg.SRHighWatermark},
+		start:     start,
+		end:       end,
+		streaming: cfg.Source != nil,
+		lean:      cfg.LeanMetrics,
+		kind:      holderKind(cfg.Policy),
+		wr:        rand.New(rand.NewSource(cfg.Seed + 2)),
+		waitq:     newCapacityWaitQueue(eng),
+	}
+	s.reserved.lastNS = start.UnixNano()
+
+	// Lean mode swaps the unbounded recorders for window-bounded ones:
+	// timelines coalesce at the sampling period, samples keep seeded
+	// reservoirs (each with its own derived seed, so merges stay
+	// reproducible).
+	newTL := metrics.NewTimeline
+	if s.lean {
+		newTL = func() *metrics.Timeline { return metrics.NewCoalescedTimeline(cfg.SampleEvery) }
+	}
+	sampleSeq := cfg.Seed + 1000
+	newSample := func() *metrics.Sample {
+		sm := metrics.NewSample()
+		if s.lean {
+			sampleSeq++
+			sm.Reservoir(cfg.LeanSampleCap, sampleSeq)
+		}
+		return sm
+	}
+	s.res = &Result{
+		Policy:          cfg.Policy,
+		ProvisionedGPUs: newTL(),
+		CommittedGPUs:   newTL(),
+		ActiveSessions:  newTL(),
+		ActiveTrainings: newTL(),
+		SR:              newTL(),
+		Interactivity:   newSample(),
+		TCT:             newSample(),
+		StepLatency:     map[Step]*metrics.Sample{},
+		SyncLatency:     newSample(),
+		ReadLatency:     newSample(),
+		WriteLatency:    newSample(),
+	}
+	for _, st := range Steps() {
+		s.res.StepLatency[st] = newSample()
 	}
 	s.cluster.SetCapacityNotifier(s.waitq.Notify)
 
-	// Pre-size the metric columns from the trace: delta series record two
-	// points per task (or session), sampled series one point per period.
-	// The hints are exact upper bounds (coincident timestamps collapse),
-	// so long traces pay one allocation per column instead of a geometric
-	// growth ladder — the dominant allocation cost of 90-day runs.
-	sessions := len(cfg.Trace.Sessions)
-	numTasks := cfg.Trace.NumTasks()
-	ticks := int(cfg.Trace.End.Sub(cfg.Trace.Start)/cfg.SampleEvery) + 2
-	s.res.ProvisionedGPUs.Grow(ticks + 64)
-	s.res.CommittedGPUs.Grow(2 * numTasks)
-	s.res.ActiveSessions.Grow(2 * sessions)
-	s.res.ActiveTrainings.Grow(2 * numTasks)
-	if cfg.Policy == PolicyNotebookOS || cfg.Policy == PolicyLCP {
-		s.res.SR.Grow(2*sessions + ticks)
+	// Pre-size the metric columns from the source's expectation: delta
+	// series record two points per task (or session), sampled series one
+	// point per period. For a materialized trace the hints are exact upper
+	// bounds (coincident timestamps collapse), so long traces pay one
+	// allocation per column instead of a geometric growth ladder — the
+	// dominant allocation cost of 90-day runs. A streaming source supplies
+	// analytic expectations instead of a trace scan; under LeanMetrics the
+	// recorders bound themselves and the hints are skipped entirely.
+	exp := src.Expect()
+	sessions, numTasks := exp.Sessions, exp.Tasks
+	ticks := int(end.Sub(start)/cfg.SampleEvery) + 2
+	if !s.lean {
+		s.res.ProvisionedGPUs.Grow(ticks + 64)
+		s.res.CommittedGPUs.Grow(2 * numTasks)
+		s.res.ActiveSessions.Grow(2 * sessions)
+		s.res.ActiveTrainings.Grow(2 * numTasks)
+		if cfg.Policy == PolicyNotebookOS || cfg.Policy == PolicyLCP {
+			s.res.SR.Grow(2*sessions + ticks)
+		}
+		s.res.Interactivity.Grow(numTasks)
+		s.res.TCT.Grow(numTasks)
+		s.res.SyncLatency.Grow(numTasks)
+		s.res.ReadLatency.Grow(numTasks)
+		s.res.WriteLatency.Grow(numTasks)
+		for _, st := range Steps() {
+			s.res.StepLatency[st].Grow(numTasks) // one observation per executed task
+		}
+		s.res.Events = make([]Event, 0, sessions+64)
 	}
-	s.res.Interactivity.Grow(numTasks)
-	s.res.TCT.Grow(numTasks)
-	s.res.SyncLatency.Grow(numTasks)
-	s.res.ReadLatency.Grow(numTasks)
-	s.res.WriteLatency.Grow(numTasks)
-	for _, st := range Steps() {
-		sm := metrics.NewSample()
-		sm.Grow(numTasks) // exactly one observation per executed task
-		s.res.StepLatency[st] = sm
-	}
-	s.res.Events = make([]Event, 0, sessions+64)
 	for i := 0; i < cfg.Hosts; i++ {
 		s.addHost()
 	}
 
-	// The whole trace is scheduled up front: one event per session
-	// boundary plus one per task arrival.
-	s.eng.Reserve(2*sessions + numTasks + 16)
-	kind := holderKind(cfg.Policy)
-	wr := rand.New(rand.NewSource(cfg.Seed + 2))
-	for _, sess := range cfg.Trace.Sessions {
-		sess := sess
-		ss := &simSession{
-			src:    sess,
-			req:    sess.Request,
-			assig:  workload.Assign(wr),
-			holder: kind + "/" + sess.ID,
+	if s.streaming {
+		// Sessions are admitted lazily: the injector event at each session's
+		// start materializes it, schedules its end and task arrivals, and
+		// pulls the next one — pending-event count tracks concurrency, not
+		// workload size.
+		next, stop := iter.Pull(func(yield func(*trace.Session) bool) {
+			s.srcErr = src.Sessions(yield)
+		})
+		defer stop()
+		s.pull = next
+		if first, ok := next(); ok {
+			s.eng.ScheduleRunner(first.Start, &injector{s: s, sess: first})
 		}
-		s.sessions[sess.ID] = ss
-		s.eng.Schedule(sess.Start, func() { s.sessionStart(ss) })
-		s.eng.Schedule(sess.End, func() { s.sessionEnd(ss) })
-		for _, task := range sess.Tasks {
-			task := task
-			s.eng.Schedule(task.Submit, func() { s.taskArrive(ss, task) })
+	} else {
+		// The whole trace is scheduled up front: one event per session
+		// boundary plus one per task arrival.
+		s.eng.Reserve(2*sessions + numTasks + 16)
+		for _, sess := range cfg.Trace.Sessions {
+			sess := sess
+			ss := &simSession{
+				src:    sess,
+				req:    sess.Request,
+				assig:  workload.Assign(s.wr),
+				holder: s.kind + "/" + sess.ID,
+			}
+			s.eng.Schedule(sess.Start, func() { s.sessionStart(ss) })
+			s.eng.Schedule(sess.End, func() { s.sessionEnd(ss) })
+			for _, task := range sess.Tasks {
+				task := task
+				s.eng.Schedule(task.Submit, func() { s.taskArrive(ss, task) })
+			}
 		}
 	}
 
@@ -393,7 +485,10 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Policy == PolicyNotebookOS || cfg.Policy == PolicyLCP {
 		s.scheduleAutoscale()
 	}
-	s.eng.RunUntil(cfg.Trace.End.Add(24 * time.Hour))
+	s.eng.RunUntil(end.Add(24 * time.Hour))
+	if s.srcErr != nil {
+		return nil, s.srcErr
+	}
 	s.finalizeIntegrals()
 	return s.res, nil
 }
@@ -412,13 +507,18 @@ func (s *sim) addHost() *simHost {
 }
 
 func (s *sim) recordEvent(kind scheduler.EventKind) {
+	if s.lean {
+		return
+	}
 	s.res.Events = append(s.res.Events, Event{T: s.now().UnixNano(), Kind: kind})
 }
 
 // ---- session lifecycle -------------------------------------------------
 
 func (s *sim) sessionStart(ss *simSession) {
+	s.res.Sessions++
 	s.res.ActiveSessions.Delta(s.now(), 1)
+	s.reserved.bump(s.now().UnixNano(), float64(ss.req.GPUs))
 	switch s.cfg.Policy {
 	case PolicyReservation:
 		// Bind GPUs for the whole session; grow the cluster when full
@@ -465,6 +565,7 @@ func (s *sim) sessionEnd(ss *simSession) {
 	}
 	ss.closed = true
 	s.res.ActiveSessions.Delta(s.now(), -1)
+	s.reserved.bump(s.now().UnixNano(), -float64(ss.req.GPUs))
 	switch s.cfg.Policy {
 	case PolicyReservation:
 		if len(ss.hosts) > 0 {
@@ -544,7 +645,9 @@ func (s *sim) sampleStep(st Step, d time.Duration) time.Duration {
 }
 
 // runReservationTask: GPUs are already bound; the task starts after
-// framework overhead only.
+// framework overhead only. The pipeline runs as a resvTask state machine
+// (one allocation per task): both lead events carry the same Runner, in the
+// same order the closure version scheduled them.
 func (s *sim) runReservationTask(ss *simSession, task trace.Task, submit time.Time) {
 	lat := s.cfg.Latencies
 	step1 := s.sampleStep(StepGSProcess, lat.GSProcess(s.rng))
@@ -554,79 +657,52 @@ func (s *sim) runReservationTask(ss *simSession, task trace.Task, submit time.Ti
 	hops := lat.Hop(s.rng) + lat.Hop(s.rng)
 	delay := step1 + step5 + step7 + hops
 
-	s.eng.Schedule(submit.Add(delay), func() {
-		s.markTraining(ss, task, s.now(), true)
-	})
-	// The completion closures reach latency models through s (captured
-	// anyway) rather than the lat local: capturing the whole Latencies
-	// struct would heap-box a copy of it per task. Same in every task path.
-	s.eng.Schedule(submit.Add(delay+task.Duration), func() {
-		// Reservation persists updated state synchronously (Fig. 16 step 9).
-		post := s.cfg.Latencies.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng)
-		s.res.WriteLatency.Add(post.Seconds())
-		s.sampleStep(StepPostProc, post)
-		s.sampleStep(StepExec, task.Duration)
-		ret := s.sampleStep(StepReturn, s.cfg.Latencies.Hop(s.rng))
-		s.eng.Defer(post+ret, func() {
-			s.markTraining(ss, task, s.now(), false)
-			s.finishTask(ss, submit, delay, task.Duration, post)
-		})
-	})
+	rt := &resvTask{s: s, ss: ss, task: task, submit: submit, delay: delay}
+	s.eng.ScheduleRunner(submit.Add(delay), rt)
+	s.eng.ScheduleRunner(submit.Add(delay+task.Duration), rt)
 }
 
 // runBatchTask: FCFS on-demand provisioning: wait for free GPUs, cold
 // start a container, download model+dataset, execute, persist, terminate.
 // When the cluster is saturated the task parks on the capacity wait-queue
-// and is retried on the next Release/AddHost notification.
+// and is retried on the next Release/AddHost notification. The pipeline
+// after commit runs as a batchTask state machine (one allocation per task);
+// the retry closure is only built on the park path, which saturation makes
+// rare relative to task count.
 func (s *sim) runBatchTask(ss *simSession, task trace.Task, submit time.Time) {
+	if s.tryBatchTask(ss, task, submit) {
+		return
+	}
+	s.waitq.Wait(func() bool { return s.tryBatchTask(ss, task, submit) })
+}
+
+// tryBatchTask attempts the commit-and-start step and reports whether the
+// task is now in flight.
+func (s *sim) tryBatchTask(ss *simSession, task trace.Task, submit time.Time) bool {
 	// A batch job requests the session's full configured resources, the
 	// way a slurm submission would, not just the GPUs this task touches.
-	// Latency models are reached through s everywhere in this function:
-	// the escaping attempt closure would otherwise heap-box a Latencies
-	// copy per task.
 	req := ss.req
-	holder := ss.holder
-
-	attempt := func() bool {
-		sh := s.hostWithIdle(req)
-		if sh == nil {
-			return false
-		}
-		h := sh.h
-		if err := h.Commit(holder, req); err != nil {
-			return false
-		}
-		queueing := s.now().Sub(submit)
-		cold := s.cfg.Latencies.ColdStart(s.rng)
-		s.res.ColdStarts++
-		fetch := s.cfg.Latencies.Store.GetLatency(ss.assig.Model.ParamBytes+ss.assig.Dataset.SizeBytes/16, s.rng)
-		s.res.ReadLatency.Add(fetch.Seconds())
-		step1 := s.sampleStep(StepGSProcess, queueing+cold+s.cfg.Latencies.GSProcess(s.rng))
-		step5 := s.sampleStep(StepPreProcess, s.cfg.Latencies.PreProcess(s.rng)+fetch)
-		s.sampleStep(StepElection, 0)
-		step7 := s.sampleStep(StepIntermed, s.cfg.Latencies.Transfer.LoadTime(ss.assig.Model.ParamBytes, task.GPUs))
-		delay := step1 + step5 + step7
-
-		s.eng.Defer(delay, func() {
-			s.markTraining(ss, task, s.now(), true)
-			s.eng.Defer(task.Duration, func() {
-				s.sampleStep(StepExec, task.Duration)
-				post := s.cfg.Latencies.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng)
-				s.res.WriteLatency.Add(post.Seconds())
-				s.sampleStep(StepPostProc, post)
-				ret := s.sampleStep(StepReturn, s.cfg.Latencies.Hop(s.rng))
-				s.eng.Defer(post+ret, func() {
-					s.markTraining(ss, task, s.now(), false)
-					_ = h.Release(holder)
-					s.finishTask(ss, submit, submit.Add(delay).Sub(submit), task.Duration, post)
-				})
-			})
-		})
-		return true
+	sh := s.hostWithIdle(req)
+	if sh == nil {
+		return false
 	}
-	if !attempt() {
-		s.waitq.Wait(attempt)
+	h := sh.h
+	if err := h.Commit(ss.holder, req); err != nil {
+		return false
 	}
+	queueing := s.now().Sub(submit)
+	cold := s.cfg.Latencies.ColdStart(s.rng)
+	s.res.ColdStarts++
+	fetch := s.cfg.Latencies.Store.GetLatency(ss.assig.Model.ParamBytes+ss.assig.Dataset.SizeBytes/16, s.rng)
+	s.res.ReadLatency.Add(fetch.Seconds())
+	step1 := s.sampleStep(StepGSProcess, queueing+cold+s.cfg.Latencies.GSProcess(s.rng))
+	step5 := s.sampleStep(StepPreProcess, s.cfg.Latencies.PreProcess(s.rng)+fetch)
+	s.sampleStep(StepElection, 0)
+	step7 := s.sampleStep(StepIntermed, s.cfg.Latencies.Transfer.LoadTime(ss.assig.Model.ParamBytes, task.GPUs))
+	delay := step1 + step5 + step7
+
+	s.eng.DeferRunner(delay, &batchTask{s: s, ss: ss, task: task, submit: submit, h: h, delay: delay})
+	return true
 }
 
 // runNbosTask: the full NotebookOS path: immediate commit on a replica
@@ -685,25 +761,8 @@ func (s *sim) tryNbosTask(ss *simSession, task trace.Task, submit time.Time) boo
 	hops := lat.Hop(s.rng) + lat.Hop(s.rng)
 	delay := migrationDelay + step1 + step5 + step6 + step7 + hops
 
-	s.eng.Schedule(submit.Add(delay), func() {
-		s.markTraining(ss, task, s.now(), true)
-		s.eng.Defer(task.Duration, func() {
-			s.sampleStep(StepExec, task.Duration)
-			// State replication is off the critical path (§3.2.4): the
-			// reply returns after the GPU offload only.
-			off := s.cfg.Latencies.Transfer.OffloadTime(ss.assig.Model.ParamBytes)
-			s.sampleStep(StepPostProc, off)
-			ret := s.sampleStep(StepReturn, s.cfg.Latencies.Hop(s.rng))
-			// Record the async replication costs for Fig. 11.
-			s.res.SyncLatency.Add(s.cfg.Latencies.Sync(s.rng).Seconds())
-			s.res.WriteLatency.Add(s.cfg.Latencies.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng).Seconds())
-			s.eng.Defer(off+ret, func() {
-				s.markTraining(ss, task, s.now(), false)
-				_ = h.Release(holder)
-				s.finishTask(ss, submit, delay, task.Duration, off)
-			})
-		})
-	})
+	s.eng.ScheduleRunner(submit.Add(delay),
+		&nbosTask{s: s, ss: ss, task: task, submit: submit, h: h, delay: delay})
 	return true
 }
 
@@ -805,77 +864,63 @@ func hostsContain(hosts []*cluster.Host, h *cluster.Host) bool {
 // runLCPTask: take a warm container from the pool (or cold start), warm
 // it up by downloading model + dataset (on the critical path, which is
 // what stretches LCP's TCT in Fig. 9b), execute, return the container.
-// Saturation parks the task on the capacity wait-queue.
+// Saturation parks the task on the capacity wait-queue. The pipeline after
+// commit runs as an lcpTask state machine (one allocation per task); the
+// retry closure is only built on the park path.
 func (s *sim) runLCPTask(ss *simSession, task trace.Task, submit time.Time) {
-	// Latency models are reached through s: the escaping attempt closure
-	// would heap-box a Latencies copy per task otherwise.
-	req := s.taskReq(ss, task)
-	holder := ss.holder
+	if s.tryLCPTask(ss, task, submit) {
+		return
+	}
+	s.waitq.Wait(func() bool { return s.tryLCPTask(ss, task, submit) })
+}
 
-	attempt := func() bool {
-		var target *simHost
-		warm := false
-		// Prefer hosts with both idle GPUs and a warm container.
-		for _, sh := range s.hostList {
-			if !sh.h.CanCommit(req) {
-				continue
-			}
-			if sh.warm > 0 {
-				target = sh
-				warm = true
-				break
-			}
-			if target == nil {
-				target = sh
-			}
+// tryLCPTask attempts the commit-and-warm-up step and reports whether the
+// task is now in flight.
+func (s *sim) tryLCPTask(ss *simSession, task trace.Task, submit time.Time) bool {
+	req := s.taskReq(ss, task)
+	var target *simHost
+	warm := false
+	// Prefer hosts with both idle GPUs and a warm container.
+	for _, sh := range s.hostList {
+		if !sh.h.CanCommit(req) {
+			continue
+		}
+		if sh.warm > 0 {
+			target = sh
+			warm = true
+			break
 		}
 		if target == nil {
-			return false
+			target = sh
 		}
-		if err := target.h.Commit(holder, req); err != nil {
-			return false
-		}
-		var start time.Duration
-		if warm {
-			target.warm--
-			s.res.WarmStarts++
-			start = s.cfg.Latencies.WarmAttach(s.rng)
-		} else {
-			s.res.ColdStarts++
-			start = s.cfg.Latencies.ColdStart(s.rng)
-		}
-		queueing := s.now().Sub(submit)
-		// Warm-up: fetch model parameters and dataset into the container.
-		fetch := s.cfg.Latencies.Store.GetLatency(ss.assig.Model.ParamBytes+ss.assig.Dataset.SizeBytes/16, s.rng)
-		s.res.ReadLatency.Add(fetch.Seconds())
-		step1 := s.sampleStep(StepGSProcess, queueing+start+s.cfg.Latencies.GSProcess(s.rng))
-		step5 := s.sampleStep(StepPreProcess, s.cfg.Latencies.PreProcess(s.rng)+fetch)
-		s.sampleStep(StepElection, 0)
-		step7 := s.sampleStep(StepIntermed, s.cfg.Latencies.Transfer.LoadTime(ss.assig.Model.ParamBytes, task.GPUs))
-		delay := step1 + step5 + step7
+	}
+	if target == nil {
+		return false
+	}
+	if err := target.h.Commit(ss.holder, req); err != nil {
+		return false
+	}
+	var start time.Duration
+	if warm {
+		target.warm--
+		s.res.WarmStarts++
+		start = s.cfg.Latencies.WarmAttach(s.rng)
+	} else {
+		s.res.ColdStarts++
+		start = s.cfg.Latencies.ColdStart(s.rng)
+	}
+	queueing := s.now().Sub(submit)
+	// Warm-up: fetch model parameters and dataset into the container.
+	fetch := s.cfg.Latencies.Store.GetLatency(ss.assig.Model.ParamBytes+ss.assig.Dataset.SizeBytes/16, s.rng)
+	s.res.ReadLatency.Add(fetch.Seconds())
+	step1 := s.sampleStep(StepGSProcess, queueing+start+s.cfg.Latencies.GSProcess(s.rng))
+	step5 := s.sampleStep(StepPreProcess, s.cfg.Latencies.PreProcess(s.rng)+fetch)
+	s.sampleStep(StepElection, 0)
+	step7 := s.sampleStep(StepIntermed, s.cfg.Latencies.Transfer.LoadTime(ss.assig.Model.ParamBytes, task.GPUs))
+	delay := step1 + step5 + step7
 
-		s.eng.Defer(delay, func() {
-			s.markTraining(ss, task, s.now(), true)
-			s.eng.Defer(task.Duration, func() {
-				s.sampleStep(StepExec, task.Duration)
-				post := s.cfg.Latencies.Store.PutLatency(ss.assig.Model.ParamBytes, s.rng)
-				s.res.WriteLatency.Add(post.Seconds())
-				s.sampleStep(StepPostProc, post)
-				ret := s.sampleStep(StepReturn, s.cfg.Latencies.Hop(s.rng))
-				s.eng.Defer(post+ret, func() {
-					s.markTraining(ss, task, s.now(), false)
-					_ = target.h.Release(holder)
-					// Return the container to the pool (LCP keeps it warm).
-					target.warm++
-					s.finishTask(ss, submit, submit.Add(delay).Sub(submit), task.Duration, post)
-				})
-			})
-		})
-		return true
-	}
-	if !attempt() {
-		s.waitq.Wait(attempt)
-	}
+	s.eng.DeferRunner(delay, &lcpTask{s: s, ss: ss, task: task, submit: submit, target: target, delay: delay})
+	return true
 }
 
 func (s *sim) markTraining(ss *simSession, task trace.Task, at time.Time, start bool) {
@@ -916,11 +961,11 @@ func (s *sim) scheduleSampling() {
 	var tick func()
 	tick = func() {
 		s.sampleProvisioned()
-		if s.now().Before(s.cfg.Trace.End) {
-			s.eng.Defer(s.cfg.SampleEvery, tick)
+		if s.now().Before(s.end) {
+			s.eng.DeferLate(s.cfg.SampleEvery, tick)
 		}
 	}
-	s.eng.Defer(0, tick)
+	s.eng.DeferLate(0, tick)
 }
 
 // sampleProvisioned records the provisioned-GPU series whose meaning is
@@ -942,11 +987,11 @@ func (s *sim) scheduleAutoscale() {
 	var tick func()
 	tick = func() {
 		s.autoscaleOnce()
-		if s.now().Before(s.cfg.Trace.End) {
-			s.eng.Defer(s.cfg.AutoscaleInterval, tick)
+		if s.now().Before(s.end) {
+			s.eng.DeferLate(s.cfg.AutoscaleInterval, tick)
 		}
 	}
-	s.eng.Defer(s.cfg.AutoscaleInterval, tick)
+	s.eng.DeferLate(s.cfg.AutoscaleInterval, tick)
 }
 
 func (s *sim) autoscaleOnce() {
@@ -1011,10 +1056,17 @@ func (s *sim) autoscaleOnce() {
 // finalizeIntegrals computes the integrated hour metrics for the cost
 // model (Fig. 12).
 func (s *sim) finalizeIntegrals() {
-	start, end := s.cfg.Trace.Start, s.cfg.Trace.End
+	start, end := s.start, s.end
 	s.res.ActiveGPUHours = s.res.CommittedGPUs.Integral(start, end)
 	s.res.ServerHours = s.res.ProvisionedGPUs.Integral(start, end) / float64(s.cfg.HostCapacity.GPUs)
-	s.res.ReservedGPUHours = s.cfg.Trace.ReservedGPUs().Integral(start, end)
+	if s.streaming {
+		// No trace to scan: the online accumulator integrated reserved GPUs
+		// as sessions came and went (bit-for-bit it is a different summation
+		// order than the trace-scan timeline, so the two agree to rounding).
+		s.res.ReservedGPUHours = s.reserved.finish(end.UnixNano())
+	} else {
+		s.res.ReservedGPUHours = s.cfg.Trace.ReservedGPUs().Integral(start, end)
+	}
 	if s.cfg.Policy == PolicyNotebookOS {
 		// Each session keeps R standby replicas alive; the executor is
 		// billed as active while training. Replica-hours approximate

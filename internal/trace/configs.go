@@ -211,6 +211,47 @@ func AdobeExcerptConfig(seed int64) GenConfig {
 	}
 }
 
+// MillionSessionConfig parameterizes the 90-day million-session scale
+// canary: ~463 arrivals/hour for 2160 hours ≈ 1.0 M sessions. It is an
+// Adobe-shaped population compressed for scale testing — shorter lifetimes
+// (median 6 h) keep steady-state concurrency near rate × E[lifetime] ≈ 5-6 k
+// live sessions, and a high PNeverTrains with rare, widely-spaced bursts
+// keeps the task total near 10^5, so the canary exercises million-session
+// *arrival* volume without a million-task simulation bill. The config is
+// only ever simulated through trace.StreamGen (materializing it would
+// allocate the gigabytes the streaming path exists to avoid); think times
+// bottom out above the autoscale and sampling tick intervals, preserving
+// the streaming path's event-order equivalence argument.
+func MillionSessionConfig(seed int64) GenConfig {
+	return GenConfig{
+		Name:               "million-90d",
+		Start:              TraceEpoch,
+		Duration:           90 * 24 * time.Hour,
+		Seed:               seed,
+		SessionsPerHour:    func(time.Duration) float64 { return 463 },
+		MaxSessionsPerHour: 463,
+		SessionLifetime: MustQuantile(
+			Knot{0, 900},
+			Knot{0.50, 6 * 3600},
+			Knot{0.75, 12 * 3600},
+			Knot{0.95, 48 * 3600},
+			Knot{1, 96 * 3600},
+		),
+		PNeverTrains: 0.9,
+		ThinkTime:    adobeThink(),
+		TaskDuration: adobeDuration(),
+		PBurstEnd:    0.5,
+		BurstGap: MustQuantile(
+			Knot{0, 3600},
+			Knot{0.50, 24 * 3600},
+			Knot{1, 4 * 86400},
+		),
+		RequestGPUs: adobeRequestGPUs(),
+		TaskGPUs:    adobeTaskGPUs(),
+		Granularity: AdobeGranularity,
+	}
+}
+
 // PhillyConfig generates a PhillyTrace-like BDLT workload, used only for
 // the Fig. 2 workload-characterisation contrast.
 func PhillyConfig(seed int64) GenConfig {

@@ -173,6 +173,53 @@ func MustIntWeights(values []int, weights []float64) *IntWeights {
 	return iw
 }
 
+// Mean returns the expectation of the sampled integer.
+func (iw *IntWeights) Mean() float64 {
+	var sum float64
+	for i, w := range iw.Weights {
+		sum += float64(iw.Values[i]) * w
+	}
+	return sum / iw.total
+}
+
+// Prob returns the probability of sampling exactly v.
+func (iw *IntWeights) Prob(v int) float64 {
+	var sum float64
+	for i, w := range iw.Weights {
+		if iw.Values[i] == v {
+			sum += w
+		}
+	}
+	return sum / iw.total
+}
+
+// SamplerMean returns the distribution mean of s: closed-form for the known
+// sampler types, numeric for Quantile, and a fixed-seed Monte Carlo estimate
+// for unknown implementations (deterministic across runs, so capacity plans
+// built from it are reproducible).
+func SamplerMean(s Sampler) float64 {
+	switch v := s.(type) {
+	case Fixed:
+		return float64(v)
+	case *Quantile:
+		return v.Mean(4096)
+	case Uniform:
+		return (v.Lo + v.Hi) / 2
+	case Exponential:
+		return v.MeanVal
+	case LogNormal:
+		return math.Exp(v.Mu + v.Sigma*v.Sigma/2)
+	default:
+		r := rand.New(rand.NewSource(1))
+		const n = 4096
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += s.Sample(r)
+		}
+		return sum / n
+	}
+}
+
 // SampleInt draws one integer.
 func (iw *IntWeights) SampleInt(r *rand.Rand) int {
 	u := r.Float64() * iw.total
