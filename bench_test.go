@@ -216,6 +216,11 @@ func BenchmarkStreamSharded(b *testing.B) {
 // trace federated; 10-day quick scale here) end-to-end.
 func BenchmarkSummerFederation(b *testing.B) { runExperiment(b, "summer-fed") }
 
+// BenchmarkScenarioSweep runs the declarative scenario lab end-to-end:
+// three arrival shapes (diurnal, weekly overlay, flash crowd) crossed
+// with the four policies and with 1/2/4-cluster federations.
+func BenchmarkScenarioSweep(b *testing.B) { runExperiment(b, "scenario-sweep") }
+
 // BenchmarkFederationShardedSim measures one 2-shard federated run: two
 // worker federations over split member clusters, merged with
 // sim.MergeFedResults.
@@ -340,7 +345,7 @@ func TestBenchCoversAllExperiments(t *testing.T) {
 		"ablation-f": true, "ablation-prewarm": true,
 		"federation": true, "fed-scale": true, "fed-penalty": true,
 		"fed-policy": true, "fed-autoscale": true, "fed-matrix": true,
-		"summer-fed": true, "stream-scale": true,
+		"summer-fed": true, "stream-scale": true, "scenario-sweep": true,
 	}
 	for _, e := range experiments.All() {
 		if !covered[e.ID] {

@@ -10,6 +10,9 @@
 //	nbos-sim -exp summer-fed -shards 4  # 90-day trace, federated + sharded
 //	nbos-sim -exp fig8 -stream          # simulate from a lazy session stream
 //	nbos-sim -exp stream-scale          # 90-day 1M-session bounded-memory run
+//	nbos-sim -exp scenario-sweep        # arrival shape x policy x federation
+//	nbos-sim -scenario campus-diurnal   # one declarative scenario, all policies
+//	nbos-sim -scenario my-workload.json # ... or a JSON trace.ScenarioSpec file
 //	nbos-sim -exp all [-jobs 8]
 package main
 
@@ -25,15 +28,29 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id (e.g. fig8), or 'all'")
-		seed   = flag.Int64("seed", 42, "random seed")
-		quick  = flag.Bool("quick", false, "reduced-scale run")
-		list   = flag.Bool("list", false, "list experiments")
-		jobs   = flag.Int("jobs", runtime.NumCPU(), "concurrent experiments for -exp all (output stays in paper order)")
-		shards = flag.Int("shards", 1, "session-partitioned trace shards per simulation (1 = unsharded; >1 merges parallel workers deterministically, see docs/ARCHITECTURE.md)")
-		stream = flag.Bool("stream", false, "synthesize sessions lazily per shard (sim.RunStreamSharded) instead of replaying a materialized trace; identical output at -shards 1, bounded memory at any scale")
+		exp      = flag.String("exp", "", "experiment id (e.g. fig8), or 'all'")
+		seed     = flag.Int64("seed", 42, "random seed")
+		quick    = flag.Bool("quick", false, "reduced-scale run")
+		list     = flag.Bool("list", false, "list experiments")
+		jobs     = flag.Int("jobs", runtime.NumCPU(), "concurrent experiments for -exp all (output stays in paper order)")
+		shards   = flag.Int("shards", 1, "session-partitioned trace shards per simulation (1 = unsharded; >1 merges parallel workers deterministically, see docs/ARCHITECTURE.md)")
+		stream   = flag.Bool("stream", false, "synthesize sessions lazily per shard (sim.RunStreamSharded) instead of replaying a materialized trace; identical output at -shards 1, bounded memory at any scale")
+		scenario = flag.String("scenario", "", "run one declarative workload scenario through every policy: a built-in name (see trace.BuiltinScenarios) or a JSON trace.ScenarioSpec file; honors -seed/-quick/-shards/-stream")
 	)
 	flag.Parse()
+
+	o := experiments.Options{Seed: *seed, Quick: *quick, Shards: *shards, Stream: *stream}
+	if *scenario != "" {
+		t0 := time.Now()
+		out, err := experiments.ScenarioReport(*scenario, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario %s: %v\n", *scenario, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("[scenario %s completed in %.1fs]\n\n", *scenario, time.Since(t0).Seconds())
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
@@ -46,7 +63,6 @@ func main() {
 		return
 	}
 
-	o := experiments.Options{Seed: *seed, Quick: *quick, Shards: *shards, Stream: *stream}
 	if *exp == "all" {
 		runAll(o, *jobs)
 		return

@@ -233,6 +233,36 @@ func scenarios() []scenario {
 				"peak_heap_bytes": float64(peak),
 			}
 		}},
+		// scenario-campus-2shards-stream pins the declarative scenario lab:
+		// the campus-diurnal ScenarioSpec (piecewise diurnal arrivals over
+		// three heavy-tailed cohorts) compiled to a GenConfig and simulated
+		// through the streaming sharded path. Sessions, tasks, and the
+		// savings integral are exact replays of the fixed seed, so the gate
+		// catches any drift in the spec compiler, the cohort-mixture
+		// generator, or the exact Poisson split.
+		{"scenario-campus-2shards-stream", func(b *testing.B, _, _ *trace.Trace) map[string]float64 {
+			gcfg := trace.CampusDiurnalScenario().MustConfig(42)
+			var res *sim.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = sim.RunStreamSharded(gcfg, sim.Config{
+					Policy: sim.PolicyNotebookOS,
+					Hosts:  30,
+					Seed:   42,
+				}, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			start := gcfg.Start
+			end := start.Add(gcfg.Duration)
+			saved := res.ReservedGPUHours - res.ProvisionedGPUs.Integral(start, end)
+			return map[string]float64{
+				"sessions":   float64(res.Sessions),
+				"tasks":      float64(res.Tasks),
+				"gpuh_saved": saved,
+			}
+		}},
 		{"summer-fed-10d-4clusters-2shards", func(b *testing.B, _, summer *trace.Trace) map[string]float64 {
 			var res *sim.FedResult
 			for i := 0; i < b.N; i++ {

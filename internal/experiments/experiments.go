@@ -102,6 +102,7 @@ func All() []Experiment {
 		{"fed-matrix", "Federation: latency-matrix shape ablation", FederationMatrix},
 		{"summer-fed", "Federation: 90-day summer trace, federated", SummerFederation},
 		{"stream-scale", "Streaming 1M-session workload, bounded memory", StreamScale},
+		{"scenario-sweep", "Scenario lab: arrival shape x policy x federation", ScenarioSweep},
 	}
 }
 

@@ -18,4 +18,15 @@
 // shard in parallel and merge the results. ProportionalShares carries
 // the documented largest-remainder rounding rules for splitting integer
 // capacity (hosts) across shard weights.
+//
+// Beyond the paper's fixed traces, the scenario lab (scenario.go) defines
+// a declarative synthetic workload family: a ScenarioSpec composes an
+// arrival process from diurnal windows, a weekly overlay, and flash-crowd
+// spikes, over weighted user cohorts with their own — optionally
+// heavy-tailed (Pareto, log-normal) — distributions, all as plain JSON
+// data. A spec compiles to an ordinary GenConfig, so Generate, the
+// streaming StreamGen/StreamSplit path, and the analytic Expect all
+// consume it unchanged, and the generators are pinned by statistical
+// tests against the spec's own analytic forms (ArrivalSpec.
+// ExpectedArrivals, the samplers' closed-form quantiles).
 package trace

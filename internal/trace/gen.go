@@ -71,6 +71,45 @@ type GenConfig struct {
 	// Granularity quantizes task submit times and durations (15 s for
 	// AdobeTrace); zero disables quantization.
 	Granularity time.Duration
+	// Cohorts splits the arriving population into weighted user classes,
+	// each with its own session-shape distributions: every arrival first
+	// draws a cohort (probability Weight / sum of Weights), then samples
+	// its lifetime, GPU demand, and burst behavior from that cohort's
+	// distributions. When non-empty, the base session-shape fields above
+	// (SessionLifetime .. TaskGPUs, PHeavy and the heavy split included)
+	// are ignored and may be nil; when empty, generation draws exactly as
+	// it always did — no extra randomness is consumed, so single-population
+	// configs stay bit-identical to their pre-cohort output.
+	Cohorts []Cohort
+}
+
+// Cohort is one user-population class of a multi-cohort workload: students
+// vs researchers vs batch-heavy pipelines, each with its own session
+// lifetime, idle-gap, and GPU-demand distributions (heavy-tailed Pareto and
+// LogNormal samplers included). Cohort membership is drawn per arrival, so
+// the classes interleave on the same arrival process rather than running as
+// separate workloads.
+type Cohort struct {
+	// Name tags generated sessions (Session.Cohort) for mix verification.
+	Name string
+	// Weight is the cohort's relative share of arrivals (need not sum to 1).
+	Weight float64
+	// SessionLifetime samples session lifetimes, in seconds.
+	SessionLifetime Sampler
+	// PNeverTrains is the probability a session submits no GPU tasks.
+	PNeverTrains float64
+	// ThinkTime samples within-burst think times, in seconds.
+	ThinkTime Sampler
+	// TaskDuration samples task execution times, in seconds.
+	TaskDuration Sampler
+	// PBurstEnd is the probability a completed task ends the burst.
+	PBurstEnd float64
+	// BurstGap samples the idle gap between bursts, in seconds.
+	BurstGap Sampler
+	// RequestGPUs samples the per-session GPU reservation.
+	RequestGPUs *IntWeights
+	// TaskGPUs samples per-task GPU counts, capped at the session request.
+	TaskGPUs *IntWeights
 }
 
 func (c GenConfig) validate() error {
@@ -79,14 +118,104 @@ func (c GenConfig) validate() error {
 		return fmt.Errorf("trace: SessionsPerHour required")
 	case c.MaxSessionsPerHour <= 0:
 		return fmt.Errorf("trace: MaxSessionsPerHour must be positive")
-	case c.SessionLifetime == nil || c.ThinkTime == nil || c.TaskDuration == nil || c.BurstGap == nil:
-		return fmt.Errorf("trace: all samplers required")
-	case c.RequestGPUs == nil || c.TaskGPUs == nil:
-		return fmt.Errorf("trace: GPU samplers required")
 	case c.Duration <= 0:
 		return fmt.Errorf("trace: non-positive duration")
 	}
+	if len(c.Cohorts) == 0 {
+		switch {
+		case c.SessionLifetime == nil || c.ThinkTime == nil || c.TaskDuration == nil || c.BurstGap == nil:
+			return fmt.Errorf("trace: all samplers required")
+		case c.RequestGPUs == nil || c.TaskGPUs == nil:
+			return fmt.Errorf("trace: GPU samplers required")
+		}
+		return nil
+	}
+	var total float64
+	for i, co := range c.Cohorts {
+		switch {
+		case co.SessionLifetime == nil || co.ThinkTime == nil || co.TaskDuration == nil || co.BurstGap == nil:
+			return fmt.Errorf("trace: cohort %d (%s): all samplers required", i, co.Name)
+		case co.RequestGPUs == nil || co.TaskGPUs == nil:
+			return fmt.Errorf("trace: cohort %d (%s): GPU samplers required", i, co.Name)
+		case co.Weight < 0:
+			return fmt.Errorf("trace: cohort %d (%s): negative weight %v", i, co.Name, co.Weight)
+		}
+		total += co.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("trace: cohort weights sum to zero")
+	}
 	return nil
+}
+
+// sessionShape is the effective per-session distribution set — the base
+// config's fields, or the drawn cohort's in a multi-cohort workload.
+type sessionShape struct {
+	cohort         string
+	lifetime       Sampler
+	pNever         float64
+	think          Sampler
+	taskDur        Sampler
+	pBurstEnd      float64
+	burstGap       Sampler
+	pHeavy         float64
+	heavyPBurstEnd float64
+	heavyBurstGap  Sampler
+	reqGPUs        *IntWeights
+	taskGPUs       *IntWeights
+}
+
+func (c GenConfig) baseShape() sessionShape {
+	return sessionShape{
+		lifetime:       c.SessionLifetime,
+		pNever:         c.PNeverTrains,
+		think:          c.ThinkTime,
+		taskDur:        c.TaskDuration,
+		pBurstEnd:      c.PBurstEnd,
+		burstGap:       c.BurstGap,
+		pHeavy:         c.PHeavy,
+		heavyPBurstEnd: c.HeavyPBurstEnd,
+		heavyBurstGap:  c.HeavyBurstGap,
+		reqGPUs:        c.RequestGPUs,
+		taskGPUs:       c.TaskGPUs,
+	}
+}
+
+func (co Cohort) shape() sessionShape {
+	return sessionShape{
+		cohort:    co.Name,
+		lifetime:  co.SessionLifetime,
+		pNever:    co.PNeverTrains,
+		think:     co.ThinkTime,
+		taskDur:   co.TaskDuration,
+		pBurstEnd: co.PBurstEnd,
+		burstGap:  co.BurstGap,
+		reqGPUs:   co.RequestGPUs,
+		taskGPUs:  co.TaskGPUs,
+	}
+}
+
+// pickShape draws the arriving session's cohort. The draw is the FIRST
+// randomness genSession consumes, and single-population configs consume
+// none here, which is what keeps (a) cohortless generation bit-identical
+// to the pre-cohort generator and (b) the k=1 stream in lockstep with the
+// materialized path for every config shape.
+func (c GenConfig) pickShape(r *rand.Rand) sessionShape {
+	if len(c.Cohorts) == 0 {
+		return c.baseShape()
+	}
+	var total float64
+	for _, co := range c.Cohorts {
+		total += co.Weight
+	}
+	u := r.Float64() * total
+	for i := range c.Cohorts {
+		u -= c.Cohorts[i].Weight
+		if u < 0 {
+			return c.Cohorts[i].shape()
+		}
+	}
+	return c.Cohorts[len(c.Cohorts)-1].shape()
 }
 
 // Generate produces a synthetic trace from cfg. The same config and seed
@@ -161,16 +290,18 @@ func MustGenerate(cfg GenConfig) *Trace {
 }
 
 func genSession(cfg GenConfig, r *rand.Rand, id string, start, traceEnd time.Time) *Session {
-	life := time.Duration(cfg.SessionLifetime.Sample(r) * float64(time.Second))
+	sh := cfg.pickShape(r)
+	life := time.Duration(sh.lifetime.Sample(r) * float64(time.Second))
 	end := start.Add(life)
 	if end.After(traceEnd) {
 		end = traceEnd
 	}
-	gpus := cfg.RequestGPUs.SampleInt(r)
+	gpus := sh.reqGPUs.SampleInt(r)
 	sess := &Session{
-		ID:    id,
-		Start: start,
-		End:   end,
+		ID:     id,
+		Cohort: sh.cohort,
+		Start:  start,
+		End:    end,
 		Request: resources.Spec{
 			Millicpus: int64(gpus) * 8000,
 			MemoryMB:  int64(gpus) * 61 * 1024,
@@ -178,24 +309,24 @@ func genSession(cfg GenConfig, r *rand.Rand, id string, start, traceEnd time.Tim
 			VRAMGB:    float64(gpus) * 16,
 		},
 	}
-	if gpus == 0 || r.Float64() < cfg.PNeverTrains {
+	if gpus == 0 || r.Float64() < sh.pNever {
 		return sess
 	}
-	pBurstEnd := cfg.PBurstEnd
-	burstGap := cfg.BurstGap
-	if cfg.PHeavy > 0 && r.Float64() < cfg.PHeavy {
-		if cfg.HeavyPBurstEnd > 0 {
-			pBurstEnd = cfg.HeavyPBurstEnd
+	pBurstEnd := sh.pBurstEnd
+	burstGap := sh.burstGap
+	if sh.pHeavy > 0 && r.Float64() < sh.pHeavy {
+		if sh.heavyPBurstEnd > 0 {
+			pBurstEnd = sh.heavyPBurstEnd
 		}
-		if cfg.HeavyBurstGap != nil {
-			burstGap = cfg.HeavyBurstGap
+		if sh.heavyBurstGap != nil {
+			burstGap = sh.heavyBurstGap
 		}
 	}
 
 	// First submission happens after an initial think time.
-	cur := start.Add(cfg.sampleDur(r, cfg.ThinkTime))
+	cur := start.Add(cfg.sampleDur(r, sh.think))
 	for cur.Before(end) {
-		d := cfg.quantize(cfg.sampleDur(r, cfg.TaskDuration))
+		d := cfg.quantize(cfg.sampleDur(r, sh.taskDur))
 		if cur.Add(d).After(end) {
 			// Truncate the final task to the session end; drop slivers.
 			d = end.Sub(cur)
@@ -203,7 +334,7 @@ func genSession(cfg GenConfig, r *rand.Rand, id string, start, traceEnd time.Tim
 				break
 			}
 		}
-		tg := cfg.TaskGPUs.SampleInt(r)
+		tg := sh.taskGPUs.SampleInt(r)
 		if tg > gpus {
 			tg = gpus
 		}
@@ -225,7 +356,7 @@ func genSession(cfg GenConfig, r *rand.Rand, id string, start, traceEnd time.Tim
 		if r.Float64() < pBurstEnd {
 			cur = cur.Add(cfg.sampleDur(r, burstGap))
 		} else {
-			cur = cur.Add(cfg.sampleDur(r, cfg.ThinkTime))
+			cur = cur.Add(cfg.sampleDur(r, sh.think))
 		}
 	}
 	return sess

@@ -137,6 +137,50 @@ func (l LogNormal) Sample(r *rand.Rand) float64 {
 	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
 }
 
+// Value returns the analytic p-th quantile: exp(mu + sigma*Phi^-1(p)).
+// Statistical generator tests compare empirical quantiles against this.
+func (l LogNormal) Value(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return math.Exp(l.Mu + l.Sigma*math.Sqrt2*math.Erfinv(2*p-1))
+}
+
+// Pareto samples a (type-I) Pareto distribution with scale Xm (minimum
+// value) and tail index Alpha: P(X > x) = (Xm/x)^Alpha for x >= Xm. The
+// heavy-tailed option for session lifetimes and batch task durations —
+// smaller Alpha means a heavier tail (Alpha <= 1 has infinite mean).
+type Pareto struct {
+	Xm, Alpha float64
+}
+
+// Sample implements Sampler by inverse-transform sampling.
+func (p Pareto) Sample(r *rand.Rand) float64 {
+	return p.Value(r.Float64())
+}
+
+// Value returns the analytic q-th quantile: Xm * (1-q)^(-1/Alpha).
+func (p Pareto) Value(q float64) float64 {
+	if q <= 0 {
+		return p.Xm
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	return p.Xm * math.Pow(1-q, -1/p.Alpha)
+}
+
+// Mean returns the analytic mean Alpha*Xm/(Alpha-1); +Inf for Alpha <= 1.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
 // IntWeights samples non-negative integers with the given relative weights:
 // Weights[i] is the weight of value Values[i]. Used for per-task GPU counts.
 type IntWeights struct {
@@ -209,6 +253,18 @@ func SamplerMean(s Sampler) float64 {
 		return v.MeanVal
 	case LogNormal:
 		return math.Exp(v.Mu + v.Sigma*v.Sigma/2)
+	case Pareto:
+		if m := v.Mean(); !math.IsInf(m, 1) {
+			return m
+		}
+		// Infinite-mean tail: fall back to a finite quantile-grid estimate
+		// (midpoints never reach q=1) so capacity plans stay usable.
+		var sum float64
+		const n = 4096
+		for i := 0; i < n; i++ {
+			sum += v.Value((float64(i) + 0.5) / n)
+		}
+		return sum / n
 	default:
 		r := rand.New(rand.NewSource(1))
 		const n = 4096

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge cases for the sharding primitives under the skewed loads the
+// scenario cohorts produce: a handful of batch-heavy sessions can carry
+// most of the reserved GPU-hours, so both the integer capacity division
+// (ProportionalShares with its min floor) and the greedy session partition
+// (Split) must stay sane when one share dwarfs the rest.
+
+// TestProportionalSharesSkewed: table-driven extremes of the
+// largest-remainder division — dominant shares, starving floors funded
+// from the largest share, and floors that cannot be satisfied at all.
+func TestProportionalSharesSkewed(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []float64
+		total   int
+		min     int
+		want    []int
+	}{
+		// One dominant weight: the floor for every starved shard comes out
+		// of the dominant share, one unit per shard.
+		{"dominant-funds-three-floors", []float64{1000, 1, 1, 1}, 16, 2, []int{10, 2, 2, 2}},
+		// Zero-weight shards still get the floor.
+		{"zero-weight-gets-floor", []float64{0, 0, 5}, 10, 1, []int{1, 1, 8}},
+		// Floor exactly exhausts the total: everyone sits at the floor.
+		{"floor-exhausts-total", []float64{9, 3, 1}, 6, 2, []int{2, 2, 2}},
+		// Floor unsatisfiable (total < min*n): as even as possible, larger
+		// shares first, never negative.
+		{"unsatisfiable-floor-skewed", []float64{100, 1, 1, 1}, 3, 2, []int{2, 1, 0, 0}},
+		// min greater than an even split but total still covers it: the
+		// dominant share absorbs the entire shortfall.
+		{"high-floor-compresses-dominant", []float64{50, 1, 1, 1, 1}, 20, 3, []int{8, 3, 3, 3, 3}},
+		// Skew mild enough that largest-remainder alone satisfies the floor:
+		// result must equal the floor-free division.
+		{"floor-inactive", []float64{6, 3, 1}, 20, 1, []int{12, 6, 2}},
+		// A single shard takes everything regardless of floor.
+		{"single-shard", []float64{0.001}, 7, 3, []int{7}},
+		// Tiny-but-nonzero weights round to zero and then get floored.
+		{"epsilon-weights", []float64{1, 1e-12, 1e-12}, 12, 1, []int{10, 1, 1}},
+	}
+	for _, c := range cases {
+		got := ProportionalShares(c.weights, c.total, c.min)
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: got %v, want %v", c.name, got, c.want)
+		}
+		sum := 0
+		for i := range got {
+			sum += got[i]
+			if got[i] != c.want[i] {
+				t.Errorf("%s: ProportionalShares(%v, %d, %d) = %v, want %v",
+					c.name, c.weights, c.total, c.min, got, c.want)
+				break
+			}
+		}
+		if sum != c.total {
+			t.Errorf("%s: shares %v sum to %d, want %d", c.name, got, sum, c.total)
+		}
+	}
+}
+
+// skewedScenario is a two-cohort spec engineered so reserved GPU-hours
+// concentrate in a thin batch-heavy slice: 85% tiny student sessions, 15%
+// day-scale 8-GPU batch sessions.
+func skewedScenario() ScenarioSpec {
+	s := ScenarioSpec{
+		Name:          "skew-test",
+		DurationHours: 72,
+		Arrival:       ArrivalSpec{BaseSessionsPerHour: 8},
+		Cohorts: []CohortSpec{
+			StudentCohort(0.85),
+			BatchHeavyCohort(0.15),
+		},
+	}
+	return s
+}
+
+// TestSplitSkewedCohortLoad: splitting a batch-heavy-skewed trace obeys the
+// greedy least-loaded guarantee — no shard exceeds the ideal share by more
+// than the single heaviest session — and the weights track the realized
+// per-shard GPU-hours exactly.
+func TestSplitSkewedCohortLoad(t *testing.T) {
+	tr := genScenario(t, skewedScenario(), 9)
+
+	var total, maxSession float64
+	for _, s := range tr.Sessions {
+		w := float64(s.Request.GPUs) * s.Lifetime().Hours()
+		total += w
+		if w > maxSession {
+			maxSession = w
+		}
+	}
+	// The skew must actually be present for this test to mean anything:
+	// the heaviest single session carries more than 2% of the total load.
+	if maxSession < 0.02*total {
+		t.Fatalf("scenario not skewed: max session %.1f GPUh of %.1f total", maxSession, total)
+	}
+
+	for _, k := range []int{2, 4, 8} {
+		shards := tr.Split(k)
+		var weightSum float64
+		count := 0
+		for _, sh := range shards {
+			count += len(sh.Trace.Sessions)
+			weightSum += sh.Weight
+			var load float64
+			for _, s := range sh.Trace.Sessions {
+				load += float64(s.Request.GPUs) * s.Lifetime().Hours()
+			}
+			// Greedy least-loaded bound: load <= ideal + heaviest item.
+			if bound := total/float64(k) + maxSession; load > bound+1e-6 {
+				t.Errorf("k=%d shard %d load %.1f GPUh exceeds greedy bound %.1f",
+					k, sh.Index, load, bound)
+			}
+			if want := load / total; math.Abs(sh.Weight-want) > 1e-6 {
+				t.Errorf("k=%d shard %d weight %.6f, realized share %.6f",
+					k, sh.Index, sh.Weight, want)
+			}
+		}
+		if count != len(tr.Sessions) {
+			t.Errorf("k=%d: shards hold %d sessions, trace has %d", k, count, len(tr.Sessions))
+		}
+		if math.Abs(weightSum-1) > 1e-6 {
+			t.Errorf("k=%d: weights sum to %v", k, weightSum)
+		}
+	}
+}
+
+// TestSplitOneGiantSession: a trace where one session outweighs everything
+// else combined still partitions exactly — the giant lands alone-ish on one
+// shard and the remaining shards absorb the rest near-evenly.
+func TestSplitOneGiantSession(t *testing.T) {
+	s := skewedScenario()
+	s.Cohorts = []CohortSpec{StudentCohort(1)}
+	tr := genScenario(t, s, 10)
+	// Promote the first session to a giant that outweighs the rest of the
+	// trace combined: full-window, 64 GPUs.
+	g := tr.Sessions[0]
+	g.End = tr.End
+	g.Request.GPUs = 64
+	g.Tasks = nil
+
+	shards := tr.Split(4)
+	giantShard := -1
+	for _, sh := range shards {
+		for _, sess := range sh.Trace.Sessions {
+			if sess == g {
+				giantShard = sh.Index
+			}
+		}
+	}
+	if giantShard == -1 {
+		t.Fatal("giant session missing from every shard")
+	}
+	// The giant dominates its shard's weight, and the other shards split
+	// the remainder within the usual greedy balance.
+	gw := shards[giantShard].Weight
+	if gw < 0.5 {
+		t.Errorf("giant shard weight %.3f, expected it to dominate (> 0.5)", gw)
+	}
+	rest := (1 - gw) / 3
+	for _, sh := range shards {
+		if sh.Index == giantShard {
+			continue
+		}
+		if sh.Weight > 2.5*rest {
+			t.Errorf("shard %d weight %.4f far above even remainder share %.4f",
+				sh.Index, sh.Weight, rest)
+		}
+	}
+}

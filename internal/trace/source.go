@@ -118,62 +118,92 @@ func (c GenConfig) Expect(shards int) Expectation {
 	if shards < 1 {
 		shards = 1
 	}
+	// A multi-cohort workload is a probability-weighted mixture of session
+	// populations on one shared arrival process, so every per-session
+	// expectation blends linearly across the classes. A single-population
+	// config is the one-class mixture — same arithmetic, weight 1.
+	type class struct {
+		w            float64 // probability of the class, sums to 1
+		shape        sessionShape
+		lifeGrid     []float64
+		lifeWeighted float64
+	}
+	var classes []class
+	if len(c.Cohorts) == 0 {
+		classes = []class{{w: 1, shape: c.baseShape()}}
+	} else {
+		var total float64
+		for _, co := range c.Cohorts {
+			total += co.Weight
+		}
+		for _, co := range c.Cohorts {
+			classes = append(classes, class{w: co.Weight / total, shape: co.shape()})
+		}
+	}
+	for k := range classes {
+		classes[k].lifeGrid = samplerGrid(classes[k].shape.lifetime, 256)
+	}
+
 	const steps = 1024
-	lifeGrid := samplerGrid(c.SessionLifetime, 256)
-	var lambda, lifeWeighted float64
+	var lambda float64
 	for i := 0; i < steps; i++ {
 		at := time.Duration((float64(i) + 0.5) / steps * float64(c.Duration))
 		rate := c.SessionsPerHour(at)
 		lambda += rate
 		w := (c.Duration - at).Seconds()
-		var m float64
-		for _, v := range lifeGrid {
-			if v > w {
-				v = w
+		for k := range classes {
+			var m float64
+			for _, v := range classes[k].lifeGrid {
+				if v > w {
+					v = w
+				}
+				m += v
 			}
-			m += v
+			classes[k].lifeWeighted += rate * m / float64(len(classes[k].lifeGrid))
 		}
-		lifeWeighted += rate * m / float64(len(lifeGrid))
 	}
 	stepH := c.Duration.Hours() / steps
-	meanLife := 0.0 // arrival-weighted E[min(L, window remaining)], seconds
-	if lambda > 0 {
-		meanLife = lifeWeighted / lambda
-	}
-	lambda *= stepH
-	sessions := lambda / float64(shards)
+	sessions := lambda * stepH / float64(shards)
 
-	meanGPUs := c.RequestGPUs.Mean()
-	reserved := sessions * (meanLife / 3600) * meanGPUs
+	var reserved, tasks float64
+	for k := range classes {
+		cl := &classes[k]
+		sh := cl.shape
+		meanLife := 0.0 // arrival-weighted E[min(L, window remaining)], seconds
+		if lambda > 0 {
+			meanLife = cl.lifeWeighted / lambda
+		}
+		reserved += cl.w * sessions * (meanLife / 3600) * sh.reqGPUs.Mean()
 
-	pNever := math.Min(math.Max(c.PNeverTrains, 0), 1)
-	pTrain := (1 - c.RequestGPUs.Prob(0)) * (1 - pNever)
+		pNever := math.Min(math.Max(sh.pNever, 0), 1)
+		pTrain := (1 - sh.reqGPUs.Prob(0)) * (1 - pNever)
 
-	meanThink := SamplerMean(c.ThinkTime)
-	meanDur := SamplerMean(c.TaskDuration)
-	cycle := func(pEnd, gap float64) float64 {
-		cy := pEnd*gap + (1-pEnd)*meanThink
-		if !c.ConcurrentSubmission {
-			cy += meanDur
+		meanThink := SamplerMean(sh.think)
+		meanDur := SamplerMean(sh.taskDur)
+		cycle := func(pEnd, gap float64) float64 {
+			cy := pEnd*gap + (1-pEnd)*meanThink
+			if !c.ConcurrentSubmission {
+				cy += meanDur
+			}
+			return math.Max(cy, 1)
 		}
-		return math.Max(cy, 1)
+		// Blend per-class task RATES, not cycle lengths: heavy sessions'
+		// short cycles dominate the task count, and E[1/cycle] != 1/E[cycle].
+		rate := 1 / cycle(sh.pBurstEnd, SamplerMean(sh.burstGap))
+		if sh.pHeavy > 0 {
+			hEnd := sh.pBurstEnd
+			if sh.heavyPBurstEnd > 0 {
+				hEnd = sh.heavyPBurstEnd
+			}
+			hGap := SamplerMean(sh.burstGap)
+			if sh.heavyBurstGap != nil {
+				hGap = SamplerMean(sh.heavyBurstGap)
+			}
+			p := math.Min(sh.pHeavy, 1)
+			rate = (1-p)*rate + p/cycle(hEnd, hGap)
+		}
+		tasks += cl.w * sessions * pTrain * meanLife * rate
 	}
-	// Blend per-class task RATES, not cycle lengths: heavy sessions' short
-	// cycles dominate the task count, and E[1/cycle] != 1/E[cycle].
-	rate := 1 / cycle(c.PBurstEnd, SamplerMean(c.BurstGap))
-	if c.PHeavy > 0 {
-		hEnd := c.PBurstEnd
-		if c.HeavyPBurstEnd > 0 {
-			hEnd = c.HeavyPBurstEnd
-		}
-		hGap := SamplerMean(c.BurstGap)
-		if c.HeavyBurstGap != nil {
-			hGap = SamplerMean(c.HeavyBurstGap)
-		}
-		p := math.Min(c.PHeavy, 1)
-		rate = (1-p)*rate + p/cycle(hEnd, hGap)
-	}
-	tasks := sessions * pTrain * meanLife * rate
 
 	return Expectation{
 		Sessions:         int(math.Ceil(sessions)),
@@ -206,6 +236,14 @@ func samplerGrid(s Sampler, n int) []float64 {
 	case Exponential:
 		for i := range out {
 			out[i] = -v.MeanVal * math.Log(1-p(i))
+		}
+	case LogNormal:
+		for i := range out {
+			out[i] = v.Value(p(i))
+		}
+	case Pareto:
+		for i := range out {
+			out[i] = v.Value(p(i))
 		}
 	default:
 		r := rand.New(rand.NewSource(1))

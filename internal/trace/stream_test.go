@@ -25,7 +25,7 @@ func collect(t *testing.T, src Source) []*Session {
 }
 
 func sameSession(a, b *Session) bool {
-	if a.ID != b.ID || !a.Start.Equal(b.Start) || !a.End.Equal(b.End) ||
+	if a.ID != b.ID || a.Cohort != b.Cohort || !a.Start.Equal(b.Start) || !a.End.Equal(b.End) ||
 		a.Request != b.Request || len(a.Tasks) != len(b.Tasks) {
 		return false
 	}

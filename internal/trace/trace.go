@@ -29,6 +29,11 @@ func (t Task) End() time.Time { return t.Submit.Add(t.Duration) }
 // instance with its resource reservation and the tasks submitted within it.
 type Session struct {
 	ID string
+	// Cohort names the user-population class the session was generated
+	// from (GenConfig.Cohorts); empty for single-population workloads.
+	// Purely descriptive — the simulator ignores it — but it lets
+	// statistical tests and reports verify cohort mixes on real streams.
+	Cohort string
 	// Start and End delimit the session container's lifetime.
 	Start, End time.Time
 	// Request is the session's resource request (the reservation the
