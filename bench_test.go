@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"notebookos/internal/cluster"
 	"notebookos/internal/experiments"
 	"notebookos/internal/federation"
 	"notebookos/internal/platform"
@@ -221,6 +222,48 @@ func BenchmarkSummerFederation(b *testing.B) { runExperiment(b, "summer-fed") }
 // with the four policies and with 1/2/4-cluster federations.
 func BenchmarkScenarioSweep(b *testing.B) { runExperiment(b, "scenario-sweep") }
 
+// BenchmarkPolicyTournament runs the scorer-vs-baseline policy lab
+// end-to-end at quick scale: every scorer configuration crossed with the
+// scenario family and federation sizes 2 and 4, all on the SLO-aware
+// priority wait-queue.
+func BenchmarkPolicyTournament(b *testing.B) { runExperiment(b, "policy-tournament") }
+
+// BenchmarkScoredRouting measures one scored routing decision on the hot
+// path: snapshot every member, run the composite four-scorer sum, and
+// sort — with a reused RouteScratch the whole decision must allocate
+// nothing (0 allocs/op is the pinned expectation; see also
+// TestDeploymentRouteAllocs for the live-platform path).
+func BenchmarkScoredRouting(b *testing.B) {
+	f := federation.New(25 * time.Millisecond)
+	for i := 0; i < 4; i++ {
+		c := cluster.New(3)
+		for j := 0; j < 3; j++ {
+			if err := c.AddHost(cluster.NewHost(fmt.Sprintf("c%d-h%d", i, j), resources.P316xlarge())); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := f.AddMember(fmt.Sprintf("c%d", i), c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := f.SetLatencyMatrix(federation.GeoBandedMatrix(4, 2, 5*time.Millisecond, 40*time.Millisecond)); err != nil {
+		b.Fatal(err)
+	}
+	f.SetSnapshotExtras(func(m int) (int, int) { return m, 0 })
+	policy := federation.NewScoredPolicy("bench",
+		federation.WeightedScorer{Scorer: federation.SubscriptionScorer{}, Weight: 1},
+		federation.WeightedScorer{Scorer: federation.LatencyScorer{}, Weight: federation.DefaultLatencyWeight},
+		federation.WeightedScorer{Scorer: federation.QueueDepthScorer{}, Weight: 0.05},
+		federation.WeightedScorer{Scorer: federation.SpreadScorer{}, Weight: 0.25},
+	)
+	var scratch federation.RouteScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		policy.Order(f, i%4, &scratch)
+	}
+}
+
 // BenchmarkFederationShardedSim measures one 2-shard federated run: two
 // worker federations over split member clusters, merged with
 // sim.MergeFedResults.
@@ -346,6 +389,7 @@ func TestBenchCoversAllExperiments(t *testing.T) {
 		"federation": true, "fed-scale": true, "fed-penalty": true,
 		"fed-policy": true, "fed-autoscale": true, "fed-matrix": true,
 		"summer-fed": true, "stream-scale": true, "scenario-sweep": true,
+		"policy-tournament": true,
 	}
 	for _, e := range experiments.All() {
 		if !covered[e.ID] {

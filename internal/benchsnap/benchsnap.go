@@ -263,6 +263,44 @@ func scenarios() []scenario {
 				"gpuh_saved": saved,
 			}
 		}},
+		// policy-tournament-flash-k4-slo pins the scorer routing layer and
+		// the SLO-aware priority wait-queue together: the flash-crowd
+		// scenario (three SLO-classed cohorts, deadline spikes) routed by
+		// the tournament's composite four-scorer policy across a 4-member
+		// federation. The per-class medians gate the priority queue's
+		// class separation; gpuh_saved and tasks gate the scored routing
+		// decisions themselves — any drift in scorer algebra, snapshot
+		// capture, or drain order shows up here.
+		{"policy-tournament-flash-k4-slo", func(b *testing.B, _, _ *trace.Trace) map[string]float64 {
+			cfg := trace.FlashCrowdScenario().MustConfig(42)
+			cfg.Duration = 6 * time.Hour
+			flash := trace.MustGenerate(cfg)
+			var res *sim.FedResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = sim.RunFederated(sim.FedConfig{
+					Trace:    flash,
+					Clusters: sim.DefaultFedClusters(4, 30),
+					Route: federation.NewScoredPolicy("composite",
+						federation.WeightedScorer{Scorer: federation.SubscriptionScorer{}, Weight: 1},
+						federation.WeightedScorer{Scorer: federation.LatencyScorer{}, Weight: federation.DefaultLatencyWeight},
+						federation.WeightedScorer{Scorer: federation.QueueDepthScorer{}, Weight: 0.05},
+						federation.WeightedScorer{Scorer: federation.SpreadScorer{}, Weight: 0.25}),
+					Latency:  federation.GeoBandedMatrix(4, 2, 5*time.Millisecond, 40*time.Millisecond),
+					SLOAware: true,
+					Seed:     42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			return map[string]float64{
+				"gpuh_saved": res.GPUHoursSaved(),
+				"int_p50_ms": res.ClassDelay[trace.SLOInteractive].Percentile(50) * 1000,
+				"be_p50_ms":  res.ClassDelay[trace.SLOBestEffort].Percentile(50) * 1000,
+				"tasks":      float64(res.Tasks),
+			}
+		}},
 		{"summer-fed-10d-4clusters-2shards", func(b *testing.B, _, summer *trace.Trace) map[string]float64 {
 			var res *sim.FedResult
 			for i := 0; i < b.N; i++ {

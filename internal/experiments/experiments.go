@@ -103,6 +103,7 @@ func All() []Experiment {
 		{"summer-fed", "Federation: 90-day summer trace, federated", SummerFederation},
 		{"stream-scale", "Streaming 1M-session workload, bounded memory", StreamScale},
 		{"scenario-sweep", "Scenario lab: arrival shape x policy x federation", ScenarioSweep},
+		{"policy-tournament", "Policy lab: scorer configs x scenarios x federation k", PolicyTournament},
 	}
 }
 

@@ -19,6 +19,12 @@ type Deployment struct {
 	fed    *Federation
 	policy RoutePolicy
 
+	// routeMu serializes the reusable ranking scratch: concurrent
+	// StartKernels contend only for the brief Order call, never for the
+	// cluster-by-cluster placement attempts that follow.
+	routeMu sync.Mutex
+	scratch RouteScratch
+
 	mu      sync.Mutex
 	globals []*scheduler.GlobalScheduler
 	owners  map[string]int // kernelID -> member index
@@ -86,9 +92,7 @@ func (d *Deployment) StartKernel(home int, kernelID, session string, req resourc
 	d.mu.Unlock()
 
 	var firstErr error
-	// nil scratch: StartKernel runs concurrently outside the deployment
-	// lock, so a shared scratch would race.
-	for _, idx := range d.policy.Order(d.fed, home, nil) {
+	for _, idx := range d.route(home, nil) {
 		gs, ok := d.Global(idx)
 		if !ok {
 			continue
@@ -112,6 +116,21 @@ func (d *Deployment) StartKernel(home int, kernelID, session string, req resourc
 		firstErr = fmt.Errorf("federation: no viable cluster for kernel %s", kernelID)
 	}
 	return 0, firstErr
+}
+
+// route ranks the member clusters for a placement homed at home, reusing
+// the deployment's scratch under routeMu instead of allocating a fresh
+// RouteScratch per call (the policy's ranking buffers survive between
+// decisions, like the simulator's per-run scratch). The ranking is copied
+// into buf — grown as needed — before the lock drops, so callers iterate
+// a private slice while other starts rank concurrently; with a reused buf
+// the whole call allocates nothing (pinned by TestDeploymentRouteAllocs).
+func (d *Deployment) route(home int, buf []int) []int {
+	d.routeMu.Lock()
+	order := d.policy.Order(d.fed, home, &d.scratch)
+	buf = append(buf[:0], order...)
+	d.routeMu.Unlock()
+	return buf
 }
 
 // CrossingCost returns the round-trip inter-cluster latency a request for

@@ -28,10 +28,19 @@
 //     two crossings for the checkpoint transfer), and
 //     Deployment.CrossingCost on the live-platform side.
 //
-// RoutePolicy implementations (LocalFirst, LeastSubscribed, LatencyAware)
-// rank member clusters for a placement originating at a session's home
-// cluster; ranking is deterministic (ties break toward the home cluster,
-// then by member index) so federated simulations replay bit-for-bit.
+// RoutePolicy implementations rank member clusters for a placement
+// originating at a session's home cluster; ranking is deterministic (ties
+// break toward the home cluster, then by member index) so federated
+// simulations replay bit-for-bit. The closed-form trio (LocalFirst,
+// LeastSubscribed, LatencyAware) is joined by the composable scored
+// layer: every decision snapshots each member (RoutingSnapshot — O(1)
+// cluster counters, SnapshotExtras-supplied queue depth and retirable
+// hosts, pair round-trip latency), weighted pluggable Scorers turn
+// snapshots into costs, and a ScoredPolicy sums and sorts with the same
+// tie-break. Single-scorer configurations (LocalFirstScored,
+// LeastSubscribedScored, LatencyAwareScored) reproduce the legacy
+// policies bit-for-bit; RoundRobin is the signal-blind null hypothesis
+// the policy-tournament experiment measures the others against.
 //
 // FederatedAutoscaler pools capacity decisions across members: one
 // scale-out/scale-in decision per interval for the whole federation,

@@ -30,6 +30,10 @@ type Federation struct {
 	matrix LatencyMatrix
 	// notifier receives the fan-in of every member's capacity notifier.
 	notifier func()
+	// extras, when non-nil, supplies the scheduler-level RoutingSnapshot
+	// fields (queue depth, retirable hosts); read without locking under the
+	// same set-before-share contract as matrix.
+	extras SnapshotExtras
 }
 
 // New returns an empty federation with the given symmetric inter-cluster
@@ -103,6 +107,17 @@ func (f *Federation) capacityFreed() {
 	if fn != nil {
 		fn()
 	}
+}
+
+// SetSnapshotExtras installs the callback that fills a RoutingSnapshot's
+// scheduler-level fields (capacity wait-queue depth and retirable-host
+// count per member). Like SetLatencyMatrix's matrix, the callback is read
+// without locking by Snapshot — install it before the federation is
+// shared between goroutines.
+func (f *Federation) SetSnapshotExtras(fn SnapshotExtras) {
+	f.mu.Lock()
+	f.extras = fn
+	f.mu.Unlock()
 }
 
 // SetCapacityNotifier registers fn to run whenever any member cluster

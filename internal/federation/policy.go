@@ -30,6 +30,7 @@ type RoutePolicy interface {
 type RouteScratch struct {
 	sorter  scoreSorter
 	members []*Member
+	snaps   []RoutingSnapshot
 }
 
 // grow readies the scratch for n members and returns the index slice.
@@ -41,6 +42,15 @@ func (s *RouteScratch) grow(n int) []int {
 	s.sorter.idx = s.sorter.idx[:n]
 	s.sorter.vals = s.sorter.vals[:n]
 	return s.sorter.idx
+}
+
+// growSnaps readies the scratch's snapshot buffer for n members.
+func (s *RouteScratch) growSnaps(n int) []RoutingSnapshot {
+	if cap(s.snaps) < n {
+		s.snaps = make([]RoutingSnapshot, n)
+	}
+	s.snaps = s.snaps[:n]
+	return s.snaps
 }
 
 // scoreSorter is the stable sort.Interface behind orderByScore. Sorting

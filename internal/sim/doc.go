@@ -58,6 +58,15 @@
 //     and pooled autoscaling decisions are pure functions of the observed
 //     loads. Double-run equality is enforced by determinism tests for
 //     Run, RunFederated, and the pooled/matrix federated path.
+//   - SLO-aware scheduling is opt-in: FedConfig.SLOAware switches the
+//     wait-queue to class-weighted priority order (rank = waited×weight,
+//     FIFO within a class, waiters past FedConfig.SLOAgingBound promoted
+//     ahead of everything so best-effort cannot starve) and records
+//     per-class queue delays in FedResult.ClassDelay; the default FIFO
+//     path is untouched and replays every existing workload
+//     byte-identically. The priority drain's comparator is a total order
+//     (arrival sequences are unique), so SLO-aware runs replay
+//     bit-for-bit too.
 //   - Saturation costs O(waiters) events: the cluster's capacity notifier
 //     (Release/AddHost) wakes the wait-queue; there are no retry polls.
 //   - Traces are read-only: a *trace.Trace may be shared by any number of

@@ -154,6 +154,17 @@ type FedConfig struct {
 	AutoscaleInterval time.Duration
 	// Latencies are the protocol latency models.
 	Latencies Latencies
+	// SLOAware switches the capacity wait-queue from strict FIFO to
+	// SLO-class-weighted priority order: parked tasks retry by
+	// waited×class-weight (trace.SLOClass.Weight — interactive 4, batch 2,
+	// best-effort 1), FIFO within a class, with waiters parked longer than
+	// SLOAgingBound promoted ahead of everything so best-effort cannot
+	// starve. Off by default — the FIFO path replays byte-identically.
+	// Per-class queue-delay samples land in FedResult.ClassDelay.
+	SLOAware bool
+	// SLOAgingBound is the priority queue's starvation-freedom bound
+	// (default 30 min; only meaningful with SLOAware).
+	SLOAgingBound time.Duration
 	// Seed drives all randomness.
 	Seed int64
 	// SampleEvery is the metrics sampling period (default 5 min).
@@ -247,6 +258,9 @@ func (c *FedConfig) withDefaults() error {
 	if c.SampleEvery <= 0 {
 		c.SampleEvery = 5 * time.Minute
 	}
+	if c.SLOAware && c.SLOAgingBound <= 0 {
+		c.SLOAgingBound = defaultAgingBound
+	}
 	return nil
 }
 
@@ -288,6 +302,11 @@ type FedResult struct {
 	// Distributions.
 	Interactivity *metrics.Sample // seconds
 	TCT           *metrics.Sample // seconds
+	// ClassDelay is the per-SLO-class queue-delay distribution (the same
+	// interactivity delay, split by each task's session class with the
+	// unclassified zero value folded into batch). Nil unless the run was
+	// SLOAware; iterate trace.SLOClasses() for a deterministic order.
+	ClassDelay map[trace.SLOClass]*metrics.Sample // seconds
 
 	// Counters.
 	Tasks            int
@@ -394,7 +413,12 @@ type fedSim struct {
 	// event loop is single-threaded and ranks clusters on every placement
 	// and remote execution, so one scratch serves the whole run.
 	route federation.RouteScratch
-	res   *FedResult
+	// qdepth counts parked capacity waiters per home member — the
+	// QueueDepth signal RoutingSnapshots carry (via SetSnapshotExtras).
+	// Maintained on every park/unpark; it never affects the default path's
+	// event order.
+	qdepth []int
+	res    *FedResult
 
 	// Streaming state (see Config.Source and sim's matching fields).
 	start, end time.Time
@@ -454,6 +478,16 @@ func RunFederated(cfg FedConfig) (*FedResult, error) {
 		Interactivity:  newSample(),
 		TCT:            newSample(),
 	}
+	s.qdepth = make([]int, len(cfg.Clusters))
+	if cfg.SLOAware {
+		s.waitq.usePriority(cfg.SLOAgingBound)
+		// Pre-create the per-class samples in SLOClasses order so lean-mode
+		// reservoir seeds are position-independent of the workload.
+		s.res.ClassDelay = make(map[trace.SLOClass]*metrics.Sample, 3)
+		for _, cl := range trace.SLOClasses() {
+			s.res.ClassDelay[cl] = newSample()
+		}
+	}
 	for i, spec := range cfg.Clusters {
 		c := cluster.New(cfg.ReplicasPerKernel)
 		if _, err := s.fed.AddMember(spec.Name, c); err != nil {
@@ -490,6 +524,19 @@ func RunFederated(cfg FedConfig) (*FedResult, error) {
 	}
 	// Any member's capacity-freeing transition wakes the shared queue.
 	s.fed.SetCapacityNotifier(s.waitq.Notify)
+	// Routing snapshots read the scheduler-level signals through this
+	// callback: parked-waiter depth by home member, and the retirable
+	// (empty) host count a scale-in could reclaim. Only Snapshot-building
+	// policies (ScoredPolicy) invoke it; the closed-form trio pays nothing.
+	s.fed.SetSnapshotExtras(func(member int) (int, int) {
+		retirable := 0
+		for _, fh := range s.members[member].hosts {
+			if hostEmpty(fh) {
+				retirable++
+			}
+		}
+		return s.qdepth[member], retirable
+	})
 
 	// Pre-size metric columns from the source's expectation (see Run): for
 	// a materialized trace the federation-wide series get exact hints;
@@ -639,12 +686,31 @@ func (s *fedSim) runTask(ss *fedSession, task trace.Task, submit time.Time) {
 	if s.tryTask(ss, task, submit) {
 		return
 	}
-	s.waitq.Wait(func() bool { return s.tryTask(ss, task, submit) })
+	// Park until capacity frees anywhere in the federation, keeping the
+	// home member's queue-depth gauge (a RoutingSnapshot signal) current
+	// for the park's whole lifetime.
+	home := ss.home
+	s.qdepth[home]++
+	retry := func() bool {
+		if !s.tryTask(ss, task, submit) {
+			return false
+		}
+		s.qdepth[home]--
+		return true
+	}
+	if s.cfg.SLOAware {
+		s.waitq.WaitClass(ss.src.SLO.Weight(), retry)
+	} else {
+		s.waitq.Wait(retry)
+	}
 }
 
 func (s *fedSim) finishTask(ss *fedSession, submit time.Time, interactivity time.Duration) {
 	s.res.Interactivity.Add(interactivity.Seconds())
 	s.res.TCT.Add(s.now().Sub(submit).Seconds())
+	if s.res.ClassDelay != nil {
+		s.res.ClassDelay[ss.src.SLO.OrDefault()].Add(interactivity.Seconds())
+	}
 	s.res.Tasks++
 	ss.running = false
 	if len(ss.queue) > 0 {

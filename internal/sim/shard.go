@@ -3,6 +3,7 @@ package sim
 import (
 	"sync"
 
+	"notebookos/internal/federation"
 	"notebookos/internal/metrics"
 	"notebookos/internal/trace"
 )
@@ -294,6 +295,9 @@ func RunFederatedSharded(cfg FedConfig, shards int) (*FedResult, error) {
 			wcfg.InterClusterPenalty = NoInterClusterPenalty
 		}
 		wcfg.Seed = ShardSeed(cfg.Seed, i)
+		// Stateful route policies (round-robin's rotation counter) must
+		// not be shared across the parallel workers.
+		wcfg.Route = federation.FreshPolicy(cfg.Route)
 		wg.Add(1)
 		go func(i int, wcfg FedConfig) {
 			defer wg.Done()
@@ -377,6 +381,21 @@ func MergeFedResults(results ...*FedResult) *FedResult {
 	}
 	out.Interactivity = metrics.MergeSamples(inter...)
 	out.TCT = metrics.MergeSamples(tct...)
+	// ClassDelay merges per class when any shard recorded it (all shards
+	// share the parent's SLOAware flag, so presence is uniform in
+	// practice); trace.SLOClasses() fixes the class iteration order.
+	if results[0].ClassDelay != nil {
+		out.ClassDelay = make(map[trace.SLOClass]*metrics.Sample, len(results[0].ClassDelay))
+		for _, cl := range trace.SLOClasses() {
+			ins := make([]*metrics.Sample, len(results))
+			for i, r := range results {
+				if r.ClassDelay != nil {
+					ins[i] = r.ClassDelay[cl]
+				}
+			}
+			out.ClassDelay[cl] = metrics.MergeSamples(ins...)
+		}
+	}
 	for _, r := range results {
 		out.Tasks += r.Tasks
 		out.ImmediateCommits += r.ImmediateCommits

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"notebookos/internal/federation"
 	"notebookos/internal/trace"
 	"notebookos/internal/workload"
 )
@@ -226,6 +227,9 @@ func RunFederatedStreamSharded(gcfg trace.GenConfig, cfg FedConfig, shards int) 
 		}
 		wcfg.FedMinHosts = fedFloors[i]
 		wcfg.Seed = ShardSeed(cfg.Seed, i)
+		// Stateful route policies (round-robin's rotation counter) must
+		// not be shared across the parallel workers.
+		wcfg.Route = federation.FreshPolicy(cfg.Route)
 		wg.Add(1)
 		go func(i int, wcfg FedConfig) {
 			defer wg.Done()

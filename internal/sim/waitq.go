@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"sort"
+	"time"
+
 	"notebookos/internal/des"
 )
 
@@ -19,6 +22,11 @@ type capWaiter func() bool
 // Determinism: waiters retry in FIFO arrival order, and the drain runs as
 // a single DES event scheduled at the notification timestamp (ordered by
 // the engine's sequence number), so a fixed seed replays bit-for-bit.
+//
+// Priority mode (usePriority) replaces the FIFO retry order with an
+// SLO-class-weighted one — see drainPrio — while the FIFO path above
+// stays the default, byte-identical to what every existing workload
+// replays.
 type capacityWaitQueue struct {
 	eng       *des.Engine
 	q         []capWaiter
@@ -26,6 +34,27 @@ type capacityWaitQueue struct {
 	// drainFn is the bound drain method, built once: passing w.drain to
 	// Defer directly would allocate a fresh method value per notification.
 	drainFn func()
+
+	// Priority mode (off by default; see usePriority). pq replaces q as
+	// the parked set, seq numbers arrivals for deterministic tie-breaks,
+	// and agingNS is the promotion bound: a waiter parked at least this
+	// long retries ahead of every unpromoted waiter regardless of class
+	// weight, so a sustained stream of heavy-class arrivals cannot starve
+	// light classes beyond the bound.
+	prio    bool
+	agingNS int64
+	pq      []prioWaiter
+	seq     uint64
+}
+
+// prioWaiter is one parked waiter in priority mode: its retry closure
+// plus the ordering metadata (class weight, enqueue time, arrival
+// sequence).
+type prioWaiter struct {
+	fn     capWaiter
+	weight int64
+	enqNS  int64
+	seq    uint64
 }
 
 func newCapacityWaitQueue(eng *des.Engine) *capacityWaitQueue {
@@ -34,12 +63,53 @@ func newCapacityWaitQueue(eng *des.Engine) *capacityWaitQueue {
 	return w
 }
 
-// Len returns the number of parked waiters.
-func (w *capacityWaitQueue) Len() int { return len(w.q) }
+// defaultAgingBound is the priority queue's promotion bound when
+// usePriority is given a non-positive one.
+const defaultAgingBound = 30 * time.Minute
 
-// Wait parks fn until the next capacity notification.
+// usePriority switches the queue into class-weighted priority mode with
+// the given aging bound (non-positive selects defaultAgingBound). Must be
+// called before any waiter parks; the FIFO path is untouched when this is
+// never called.
+func (w *capacityWaitQueue) usePriority(aging time.Duration) {
+	if aging <= 0 {
+		aging = defaultAgingBound
+	}
+	w.prio = true
+	w.agingNS = aging.Nanoseconds()
+}
+
+// Len returns the number of parked waiters.
+func (w *capacityWaitQueue) Len() int { return len(w.q) + len(w.pq) }
+
+// Wait parks fn until the next capacity notification. In priority mode it
+// parks at weight 1 (the lightest class); classed callers use WaitClass.
 func (w *capacityWaitQueue) Wait(fn capWaiter) {
+	if w.prio {
+		w.WaitClass(1, fn)
+		return
+	}
 	w.q = append(w.q, fn)
+}
+
+// WaitClass parks fn with an SLO-class weight (clamped to ≥ 1): heavier
+// waiters retry first when capacity frees. Outside priority mode the
+// weight is ignored and the park is a plain FIFO Wait.
+func (w *capacityWaitQueue) WaitClass(weight int, fn capWaiter) {
+	if !w.prio {
+		w.q = append(w.q, fn)
+		return
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	w.seq++
+	w.pq = append(w.pq, prioWaiter{
+		fn:     fn,
+		weight: int64(weight),
+		enqNS:  w.eng.Now().UnixNano(),
+		seq:    w.seq,
+	})
 }
 
 // Notify schedules a drain at the current virtual time. Multiple
@@ -48,18 +118,22 @@ func (w *capacityWaitQueue) Wait(fn capWaiter) {
 // (every capacity-freeing transition after a Wait triggers a drain) and
 // no thundering herds.
 func (w *capacityWaitQueue) Notify() {
-	if w.scheduled || len(w.q) == 0 {
+	if w.scheduled || (len(w.q) == 0 && len(w.pq) == 0) {
 		return
 	}
 	w.scheduled = true
 	w.eng.Defer(0, w.drainFn)
 }
 
-// drain retries every parked waiter once, in FIFO arrival order. Waiters
-// that still cannot make progress stay queued, ahead of any waiters that
-// arrived during the drain.
+// drain retries every parked waiter once, in FIFO arrival order (priority
+// order in priority mode). Waiters that still cannot make progress stay
+// queued, ahead of any waiters that arrived during the drain.
 func (w *capacityWaitQueue) drain() {
 	w.scheduled = false
+	if w.prio {
+		w.drainPrio()
+		return
+	}
 	pending := w.q
 	w.q = nil
 	var kept []capWaiter
@@ -72,5 +146,56 @@ func (w *capacityWaitQueue) drain() {
 		// Waiters enqueued while draining (w.q) arrived later than the
 		// kept ones; preserve FIFO order across the splice.
 		w.q = append(kept, w.q...)
+	}
+}
+
+// drainPrio retries the parked waiters in class-weighted priority order:
+//
+//   - Promoted waiters first — any waiter parked at least the aging bound
+//     — in arrival order among themselves. Promotion is what makes the
+//     queue starvation-free: however heavy the competing classes, a
+//     best-effort waiter outranks every fresh arrival once it has waited
+//     the bound.
+//   - Then by descending rank, waited×weight: a weight-4 interactive
+//     waiter outranks a weight-1 best-effort waiter that has waited less
+//     than 4× as long. Equal weights reduce to waited alone, so FIFO
+//     order is preserved within a class.
+//   - Ties (same promotion state and rank) break by arrival sequence.
+//
+// The comparator is a total order (sequences are unique), so the sort —
+// and therefore the replay — is deterministic regardless of sort
+// stability. Failed waiters keep their metadata and retry ahead of
+// drain-time arrivals at the next notification, exactly like the FIFO
+// path's splice.
+func (w *capacityWaitQueue) drainPrio() {
+	pending := w.pq
+	w.pq = nil
+	now := w.eng.Now().UnixNano()
+	aging := w.agingNS
+	sort.Slice(pending, func(a, b int) bool {
+		pa, pb := &pending[a], &pending[b]
+		promA := now-pa.enqNS >= aging
+		promB := now-pb.enqNS >= aging
+		if promA != promB {
+			return promA
+		}
+		if promA {
+			return pa.seq < pb.seq
+		}
+		ra := (now - pa.enqNS) * pa.weight
+		rb := (now - pb.enqNS) * pb.weight
+		if ra != rb {
+			return ra > rb
+		}
+		return pa.seq < pb.seq
+	})
+	var kept []prioWaiter
+	for _, p := range pending {
+		if !p.fn() {
+			kept = append(kept, p)
+		}
+	}
+	if len(kept) > 0 {
+		w.pq = append(kept, w.pq...)
 	}
 }

@@ -29,4 +29,11 @@
 // consume it unchanged, and the generators are pinned by statistical
 // tests against the spec's own analytic forms (ArrivalSpec.
 // ExpectedArrivals, the samplers' closed-form quantiles).
+//
+// Cohorts optionally carry an SLOClass ("interactive", "batch",
+// "best-effort" — each a scheduling weight plus a max-queue-delay
+// target) stamped onto their generated Sessions; stamping consumes no
+// randomness, so classing a workload never perturbs it. The federated
+// simulator's SLO-aware wait-queue (sim.FedConfig.SLOAware) is the
+// consumer.
 package trace

@@ -92,6 +92,11 @@ type GenConfig struct {
 type Cohort struct {
 	// Name tags generated sessions (Session.Cohort) for mix verification.
 	Name string
+	// SLO is the service-level class stamped on the cohort's sessions
+	// (Session.SLO); the zero value leaves them unclassified (scheduled as
+	// SLOBatch). Stamping consumes no randomness, so adding or changing
+	// SLO classes never perturbs generated workloads.
+	SLO SLOClass
 	// Weight is the cohort's relative share of arrivals (need not sum to 1).
 	Weight float64
 	// SessionLifetime samples session lifetimes, in seconds.
@@ -152,6 +157,7 @@ func (c GenConfig) validate() error {
 // config's fields, or the drawn cohort's in a multi-cohort workload.
 type sessionShape struct {
 	cohort         string
+	slo            SLOClass
 	lifetime       Sampler
 	pNever         float64
 	think          Sampler
@@ -184,6 +190,7 @@ func (c GenConfig) baseShape() sessionShape {
 func (co Cohort) shape() sessionShape {
 	return sessionShape{
 		cohort:    co.Name,
+		slo:       co.SLO,
 		lifetime:  co.SessionLifetime,
 		pNever:    co.PNeverTrains,
 		think:     co.ThinkTime,
@@ -300,6 +307,7 @@ func genSession(cfg GenConfig, r *rand.Rand, id string, start, traceEnd time.Tim
 	sess := &Session{
 		ID:     id,
 		Cohort: sh.cohort,
+		SLO:    sh.slo,
 		Start:  start,
 		End:    end,
 		Request: resources.Spec{

@@ -278,6 +278,9 @@ func (a ArrivalSpec) validate() error {
 type CohortSpec struct {
 	Name   string  `json:"name"`
 	Weight float64 `json:"weight"`
+	// SLO is the cohort's service-level class: "interactive", "batch",
+	// "best-effort", or empty for unclassified (scheduled as batch).
+	SLO string `json:"slo,omitempty"`
 	// SessionLifetime, ThinkTime, TaskDuration, and BurstGap are in seconds.
 	SessionLifetime Dist    `json:"session_lifetime"`
 	PNeverTrains    float64 `json:"p_never_trains"`
@@ -326,8 +329,13 @@ func (c CohortSpec) cohort() (Cohort, error) {
 	if c.PNeverTrains < 0 || c.PNeverTrains > 1 || c.PBurstEnd < 0 || c.PBurstEnd > 1 {
 		return Cohort{}, fmt.Errorf("trace: cohort %q probabilities out of [0,1]", c.Name)
 	}
+	slo, err := ParseSLOClass(c.SLO)
+	if err != nil {
+		return Cohort{}, fmt.Errorf("trace: cohort %q slo: %w", c.Name, err)
+	}
 	return Cohort{
 		Name:            c.Name,
+		SLO:             slo,
 		Weight:          c.Weight,
 		SessionLifetime: life,
 		PNeverTrains:    c.PNeverTrains,
@@ -453,11 +461,14 @@ func ResolveScenario(nameOrPath string) (ScenarioSpec, error) {
 
 // StudentCohort models coursework users: many short workday sessions on
 // small GPU slices, most never training (notebooks as calculators).
-// Lifetimes are log-normal with a ~2 h median.
+// Lifetimes are log-normal with a ~2 h median. The campus free tier is
+// best-effort: coursework tolerates queueing, so it yields to paying
+// classes under saturation.
 func StudentCohort(weight float64) CohortSpec {
 	return CohortSpec{
 		Name:            "student",
 		Weight:          weight,
+		SLO:             string(SLOBestEffort),
 		SessionLifetime: Dist{Kind: "lognormal", Mu: math.Log(2 * 3600), Sigma: 0.9},
 		PNeverTrains:    0.6,
 		ThinkTime:       Dist{Kind: "lognormal", Mu: math.Log(180), Sigma: 1.0},
@@ -471,11 +482,13 @@ func StudentCohort(weight float64) CohortSpec {
 
 // ResearcherCohort models interactive researchers: Pareto-tailed multi-hour
 // sessions (x_m = 3 h, alpha = 1.5 — a minority keeps notebooks alive for
-// days), medium GPU demand, intermittent training bursts.
+// days), medium GPU demand, intermittent training bursts. Researchers sit
+// at the notebook waiting for cells: the interactive class.
 func ResearcherCohort(weight float64) CohortSpec {
 	return CohortSpec{
 		Name:            "researcher",
 		Weight:          weight,
+		SLO:             string(SLOInteractive),
 		SessionLifetime: Dist{Kind: "pareto", Scale: 3 * 3600, Shape: 1.5},
 		PNeverTrains:    0.35,
 		ThinkTime:       Dist{Kind: "lognormal", Mu: math.Log(300), Sigma: 1.0},
@@ -490,11 +503,13 @@ func ResearcherCohort(weight float64) CohortSpec {
 // BatchHeavyCohort models pipeline-style heavy users: few arrivals, large
 // reservations, day-scale Pareto lifetimes (x_m = 24 h, alpha = 1.4) and
 // Pareto task durations (x_m = 30 min, alpha = 1.6) submitted nearly
-// back-to-back — the skew source for shard-balance stress tests.
+// back-to-back — the skew source for shard-balance stress tests. Pipeline
+// throughput work is the batch class.
 func BatchHeavyCohort(weight float64) CohortSpec {
 	return CohortSpec{
 		Name:            "batch-heavy",
 		Weight:          weight,
+		SLO:             string(SLOBatch),
 		SessionLifetime: Dist{Kind: "pareto", Scale: 24 * 3600, Shape: 1.4},
 		PNeverTrains:    0.05,
 		ThinkTime:       Dist{Kind: "exponential", Mean: 60},

@@ -34,6 +34,11 @@ type Session struct {
 	// Purely descriptive — the simulator ignores it — but it lets
 	// statistical tests and reports verify cohort mixes on real streams.
 	Cohort string
+	// SLO is the session's service-level class (Cohort.SLO at generation
+	// time). Unlike Cohort it is *not* purely descriptive: an SLO-aware
+	// scheduler weights the session's tasks by it in the capacity
+	// wait-queue. The zero value schedules as SLOBatch.
+	SLO SLOClass
 	// Start and End delimit the session container's lifetime.
 	Start, End time.Time
 	// Request is the session's resource request (the reservation the
@@ -254,7 +259,7 @@ func (tr *Trace) Window(from, to time.Time) *Trace {
 		if s.Start.Before(from) || !s.Start.Before(to) {
 			continue
 		}
-		ns := &Session{ID: s.ID, Start: s.Start, End: s.End, Request: s.Request}
+		ns := &Session{ID: s.ID, Cohort: s.Cohort, SLO: s.SLO, Start: s.Start, End: s.End, Request: s.Request}
 		if ns.End.After(to) {
 			ns.End = to
 		}
