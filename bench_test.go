@@ -188,6 +188,36 @@ func BenchmarkShardedSim(b *testing.B) {
 	b.ReportMetric(saved, "GPUh-saved")
 }
 
+// BenchmarkShardedLeaseSim is BenchmarkShardedSim with the shared
+// virtual capacity pool enabled (ShardCapacity == LeasePool): the four
+// workers lease hosts from a capacity ledger at epoch barriers, so the
+// reported GPUh-saved is exactly the unsharded fig8 headline rather than
+// the legacy split's approximation. The timing delta against
+// BenchmarkShardedSim is the price of the ledger's serial spine.
+func BenchmarkShardedLeaseSim(b *testing.B) {
+	cfg := trace.AdobeExcerptConfig(42)
+	cfg.Duration = 4 * time.Hour
+	tr := trace.MustGenerate(cfg)
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunSharded(sim.Config{
+			Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30,
+			Seed: 42, ShardCapacity: sim.LeasePool,
+		}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reserved := tr.ReservedGPUs().Integral(tr.Start, tr.End)
+		saved = reserved - res.ProvisionedGPUs.Integral(tr.Start, tr.End)
+	}
+	b.ReportMetric(saved, "GPUh-saved")
+}
+
+// BenchmarkShardDrift runs the shard-drift experiment end-to-end at
+// quick scale: the legacy-split vs lease-pool drift table for
+// k in {1,2,4,8} that docs/SHARDING.md quotes.
+func BenchmarkShardDrift(b *testing.B) { runExperiment(b, "shard-drift") }
+
 // BenchmarkStreamSharded measures the bounded-memory streaming sharded
 // path at reduced scale (a 1/16 window of the 90-day million-session
 // config, ~65k sessions): two workers synthesize their exact Poisson
@@ -388,8 +418,8 @@ func TestBenchCoversAllExperiments(t *testing.T) {
 		"ablation-f": true, "ablation-prewarm": true,
 		"federation": true, "fed-scale": true, "fed-penalty": true,
 		"fed-policy": true, "fed-autoscale": true, "fed-matrix": true,
-		"summer-fed": true, "stream-scale": true, "scenario-sweep": true,
-		"policy-tournament": true,
+		"summer-fed": true, "stream-scale": true, "shard-drift": true,
+		"scenario-sweep": true, "policy-tournament": true,
 	}
 	for _, e := range experiments.All() {
 		if !covered[e.ID] {

@@ -301,6 +301,33 @@ func scenarios() []scenario {
 				"tasks":      float64(res.Tasks),
 			}
 		}},
+		// sharded-lease-summer-10d-4shards pins the shared virtual
+		// capacity pool: a 4-shard run over the 10-day summer trace with
+		// ShardCapacity == LeasePool must save exactly as many GPU-hours
+		// as the unsharded run (the capacity ledger replays it), so
+		// gpuh_saved gates at the default 0.1% with zero expected drift —
+		// compare summer-10d-quick, whose legacy static split drifts by
+		// design. scale_outs/scale_ins pin the ledger's event stream.
+		{"sharded-lease-summer-10d-4shards", func(b *testing.B, _, summer *trace.Trace) map[string]float64 {
+			var saved, tasks, so, si float64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunSharded(sim.Config{
+					Trace: summer, Policy: sim.PolicyNotebookOS, Hosts: 30,
+					Seed: 42, ShardCapacity: sim.LeasePool,
+				}, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reserved := summer.ReservedGPUs().Integral(summer.Start, summer.End)
+				saved = reserved - res.ProvisionedGPUs.Integral(summer.Start, summer.End)
+				tasks = float64(res.Tasks)
+				so, si = float64(res.ScaleOuts), float64(res.ScaleIns)
+			}
+			return map[string]float64{
+				"gpuh_saved": saved, "tasks": tasks,
+				"scale_outs": so, "scale_ins": si,
+			}
+		}},
 		{"summer-fed-10d-4clusters-2shards", func(b *testing.B, _, summer *trace.Trace) map[string]float64 {
 			var res *sim.FedResult
 			for i := 0; i < b.N; i++ {

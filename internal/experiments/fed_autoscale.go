@@ -30,7 +30,7 @@ func FederationAutoscale(o Options) (string, error) {
 		pooled.PooledAutoscale = true
 		cfgs = append(cfgs, base, pooled)
 	}
-	results, err := parallelFedSims(cfgs, o.shards())
+	results, err := parallelFedSims(o, cfgs)
 	if err != nil {
 		return "", err
 	}
@@ -98,7 +98,7 @@ func FederationMatrix(o Options) (string, error) {
 			Seed:            o.seed(),
 		}
 	}
-	results, err := parallelFedSims(cfgs, o.shards())
+	results, err := parallelFedSims(o, cfgs)
 	if err != nil {
 		return "", err
 	}

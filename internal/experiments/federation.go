@@ -16,15 +16,18 @@ const fedTotalHosts = 30
 
 // parallelFedSims runs uncached federated simulations on parallel
 // goroutines, returning results in input order. Per-run seeds live in the
-// configs, so output is byte-identical to a sequential sweep. shards > 1
-// additionally splits each run's trace across that many worker
-// federations (sim.RunFederatedSharded; shards <= 1 is exactly
-// sim.RunFederated).
-func parallelFedSims(cfgs []sim.FedConfig, shards int) ([]*sim.FedResult, error) {
+// configs, so output is byte-identical to a sequential sweep. With
+// Options.Shards > 1 each run's trace additionally splits across that
+// many worker federations (sim.RunFederatedSharded; shards <= 1 is
+// exactly sim.RunFederated) under Options' capacity mode — the shared
+// lease pool unless LegacyShards opts out.
+func parallelFedSims(o Options, cfgs []sim.FedConfig) ([]*sim.FedResult, error) {
+	shards := o.shards()
 	results := make([]*sim.FedResult, len(cfgs))
 	errs := make([]error, len(cfgs))
 	var wg sync.WaitGroup
 	for i := range cfgs {
+		cfgs[i].ShardCapacity = o.capacity()
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -62,7 +65,7 @@ func FederationScale(o Options) (string, error) {
 			Seed:     o.seed(),
 		}
 	}
-	results, err := parallelFedSims(cfgs, o.shards())
+	results, err := parallelFedSims(o, cfgs)
 	if err != nil {
 		return "", err
 	}
@@ -119,7 +122,7 @@ func FederationPenalty(o Options) (string, error) {
 			Seed:                o.seed(),
 		}
 	}
-	results, err := parallelFedSims(cfgs, o.shards())
+	results, err := parallelFedSims(o, cfgs)
 	if err != nil {
 		return "", err
 	}
@@ -159,7 +162,7 @@ func FederationPolicy(o Options) (string, error) {
 			Seed:                o.seed(),
 		}
 	}
-	results, err := parallelFedSims(cfgs, o.shards())
+	results, err := parallelFedSims(o, cfgs)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"notebookos/internal/sim"
+	"notebookos/internal/trace"
+)
+
+// ShardDrift sweeps the sharded runners' capacity-accounting contract:
+// for k in {1, 2, 4, 8} and both ShardCapacity modes it reports the
+// saved-GPU-hours drift of sim.RunSharded against the unsharded run,
+// relative to the trace's reserved GPU-hours — the before/after table
+// docs/SHARDING.md quotes. Under the legacy static split the drift grows
+// with k (each worker autoscales on its own shard alone); under the
+// lease pool it is exactly zero at every k, because the pool's capacity
+// ledger replays the unsharded run's capacity decisions and the merged
+// result reports the ledger's metrics.
+//
+// Quick mode sweeps the excerpt only; full mode adds the 10-day summer
+// prefix (the trace TestShardedSavingsDriftBound pins its contract on).
+func ShardDrift(o Options) (string, error) {
+	var b strings.Builder
+	b.WriteString(header("shard-drift", "Sharded capacity drift: legacy split vs lease pool", o))
+
+	type sweep struct {
+		name string
+		tr   *trace.Trace
+	}
+	sweeps := []sweep{{"excerpt", excerptTrace(o)}}
+	if !o.Quick {
+		cfg := mustGenConfig(o, "summer")
+		cfg.Duration = 10 * 24 * time.Hour
+		sweeps = append(sweeps, sweep{"summer-10d", trace.MustGenerate(cfg)})
+	}
+
+	modes := []struct {
+		name string
+		mode sim.ShardCapacity
+	}{
+		{"legacy-split", sim.LegacySplit},
+		{"lease-pool", sim.LeasePool},
+	}
+	for _, sw := range sweeps {
+		tr := sw.tr
+		cfg := sim.Config{Trace: tr, Policy: sim.PolicyNotebookOS, Hosts: 30, Seed: o.seed()}
+		reserved := tr.ReservedGPUs().Integral(tr.Start, tr.End)
+		base, err := sim.Run(cfg)
+		if err != nil {
+			return "", err
+		}
+		baseSaved := reserved - base.ProvisionedGPUs.Integral(tr.Start, tr.End)
+		fmt.Fprintf(&b, "\n%s: reserved=%.1f GPU-h, unsharded saves %.1f GPU-h (so=%d si=%d)\n",
+			sw.name, reserved, baseSaved, base.ScaleOuts, base.ScaleIns)
+		fmt.Fprintf(&b, "%-14s %2s  %12s  %8s  %5s  %5s\n", "mode", "k", "saved GPU-h", "drift", "so", "si")
+		for _, m := range modes {
+			for _, k := range []int{1, 2, 4, 8} {
+				c := cfg
+				c.ShardCapacity = m.mode
+				res, err := sim.RunSharded(c, k)
+				if err != nil {
+					return "", err
+				}
+				saved := reserved - res.ProvisionedGPUs.Integral(tr.Start, tr.End)
+				drift := (saved - baseSaved) / reserved
+				fmt.Fprintf(&b, "%-14s %2d  %12.1f  %7.3f%%  %5d  %5d\n",
+					m.name, k, saved, drift*100, res.ScaleOuts, res.ScaleIns)
+			}
+		}
+	}
+	b.WriteString("\ndrift = (sharded saved - unsharded saved) / reserved GPU-hours.\n")
+	b.WriteString("lease-pool rows are exact by construction: the capacity ledger\n")
+	b.WriteString("replays the unsharded run's capacity decisions (docs/SHARDING.md).\n")
+	return b.String(), nil
+}

@@ -34,10 +34,11 @@ func StreamScale(o Options) (string, error) {
 		shards = 2
 	}
 	cfg := sim.Config{
-		Policy:      sim.PolicyNotebookOS,
-		Hosts:       128,
-		LeanMetrics: true,
-		Seed:        o.seed(),
+		Policy:        sim.PolicyNotebookOS,
+		Hosts:         128,
+		LeanMetrics:   true,
+		Seed:          o.seed(),
+		ShardCapacity: o.capacity(),
 	}
 
 	var (

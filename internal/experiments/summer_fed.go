@@ -29,7 +29,7 @@ func SummerFederation(o Options) (string, error) {
 			Seed:            o.seed(),
 		}
 	}
-	results, err := parallelFedSims(cfgs, o.shards())
+	results, err := parallelFedSims(o, cfgs)
 	if err != nil {
 		return "", err
 	}

@@ -20,10 +20,18 @@
 // merged quantiles are bit-identical to concatenation), events by a
 // pre-sized k-way merge on their int64 timestamps, counters by
 // summation, always in shard-index order so output never
-// depends on worker completion order. Sharded runs approximate unsharded
-// ones (workers do not share cluster capacity); the saved-GPU-hour drift
-// bound is documented on RunSharded and pinned by
-// TestShardedSavingsDriftBound.
+// depends on worker completion order. Capacity accounting across shards
+// is Config.ShardCapacity's choice (docs/SHARDING.md): under LeasePool —
+// the default for experiment -shards runs — workers lease hosts from a
+// shared virtual capacity pool backed by a capacity ledger (an unsharded
+// replay running as one more barrier participant), reconciled at every
+// LeaseEpoch boundary, so every cluster-determined metric of a sharded
+// run is byte-identical to the unsharded run at any shard count (pinned
+// by TestLeasePoolCapacityExact); under the zero-value LegacySplit the
+// workers never share capacity after the initial proportional grant and
+// the saved-GPU-hour drift bound documented on RunSharded applies
+// (pinned by TestShardedSavingsDriftBound). Latency distributions are
+// shard-local — unbiased but not sample-identical — in both modes.
 //
 // Crossing-cost accounting in RunFederated: every federation boundary
 // crossing is charged from federation.Federation.Penalty — either the

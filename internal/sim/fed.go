@@ -169,6 +169,22 @@ type FedConfig struct {
 	Seed int64
 	// SampleEvery is the metrics sampling period (default 5 min).
 	SampleEvery time.Duration
+	// ShardCapacity selects how the sharded federated runners treat member
+	// capacity (RunFederated itself ignores it): LegacySplit (the zero
+	// value) keeps the static proportional split, LeasePool reconciles a
+	// shared per-member capacity pool at epoch barriers. See
+	// RunFederatedSharded and docs/SHARDING.md.
+	ShardCapacity ShardCapacity
+	// LeaseEpoch is the barrier period of the LeasePool capacity protocol
+	// (default AutoscaleInterval). Only meaningful with
+	// ShardCapacity == LeasePool.
+	LeaseEpoch time.Duration
+
+	// leaseManaged marks a sharded worker federation whose capacity is
+	// governed by a lease pool at epoch barriers: the worker's own
+	// autoscale ticks (pooled or per-member) are suppressed. Set only by
+	// the lease runner, never by callers.
+	leaseManaged bool
 }
 
 func (c *FedConfig) withDefaults() error {
@@ -251,6 +267,9 @@ func (c *FedConfig) withDefaults() error {
 	}
 	if c.AutoscaleInterval <= 0 {
 		c.AutoscaleInterval = time.Minute
+	}
+	if c.LeaseEpoch <= 0 {
+		c.LeaseEpoch = c.AutoscaleInterval
 	}
 	if c.Latencies.GSProcess == nil {
 		c.Latencies = DefaultLatencies()
@@ -425,9 +444,10 @@ type fedSim struct {
 	streaming  bool
 	wr         *rand.Rand
 	// homeSeq counts admitted sessions for round-robin home assignment.
-	homeSeq int
-	pull    func() (*trace.Session, bool)
-	srcErr  error
+	homeSeq  int
+	pull     func() (*trace.Session, bool)
+	stopPull func()
+	srcErr   error
 	// reserved integrates reserved GPUs online when streaming.
 	reserved gpuHoursAcc
 }
@@ -435,6 +455,19 @@ type fedSim struct {
 // RunFederated executes a federated simulation and returns its result.
 // Determinism matches Run: a fixed config replays bit-for-bit.
 func RunFederated(cfg FedConfig) (*FedResult, error) {
+	s, err := newFedSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.close()
+	s.eng.RunUntil(s.end.Add(24 * time.Hour))
+	return s.finish()
+}
+
+// newFedSim builds a ready-to-run federated simulation (see newSim):
+// members and hosts in place, events scheduled, ticks armed. Callers
+// drive the engine and collect the result with finish; pair with close.
+func newFedSim(cfg FedConfig) (*fedSim, error) {
 	if err := cfg.withDefaults(); err != nil {
 		return nil, err
 	}
@@ -562,7 +595,7 @@ func RunFederated(cfg FedConfig) (*FedResult, error) {
 		next, stop := iter.Pull(func(yield func(*trace.Session) bool) {
 			s.srcErr = src.Sessions(yield)
 		})
-		defer stop()
+		s.stopPull = stop
 		s.pull = next
 		if first, ok := next(); ok {
 			s.eng.ScheduleRunner(first.Start, &fedInjector{s: s, sess: first})
@@ -588,9 +621,27 @@ func RunFederated(cfg FedConfig) (*FedResult, error) {
 		}
 	}
 
+	// A lease-managed worker skips its own autoscale ticks: the pool runs
+	// the same decision once per barrier over the pooled member loads.
 	s.scheduleSampling()
-	s.scheduleAutoscale()
-	s.eng.RunUntil(end.Add(24 * time.Hour))
+	if !cfg.leaseManaged {
+		s.scheduleAutoscale()
+	}
+	return s, nil
+}
+
+// close releases the streaming source's iterator; safe to call twice.
+func (s *fedSim) close() {
+	if s.stopPull != nil {
+		s.stopPull()
+		s.stopPull = nil
+	}
+}
+
+// finish surfaces a streaming-source error and computes the merged series
+// and integrated hours. Call once, after the engine has run past the
+// window's end.
+func (s *fedSim) finish() (*FedResult, error) {
 	if s.srcErr != nil {
 		return nil, s.srcErr
 	}
@@ -983,11 +1034,17 @@ func (s *fedSim) autoscalePooled() {
 // pending (toward autoscaler capacity) immediately and land after the
 // provisioning latency.
 func (s *fedSim) provisionHosts(idx, need int) {
+	s.provisionHostsAfter(idx, need, s.cfg.Latencies.HostProvision(s.rng))
+}
+
+// provisionHostsAfter is provisionHosts with the provisioning latency as
+// a parameter, so the lease pool can charge a pool-rng draw (one per
+// pooled decision) instead of a worker-rng draw.
+func (s *fedSim) provisionHostsAfter(idx, need int, provision time.Duration) {
 	m := s.members[idx]
 	m.pendingHosts += need
 	s.res.ScaleOuts++
 	m.res.ScaleOuts++
-	provision := s.cfg.Latencies.HostProvision(s.rng)
 	s.eng.Defer(provision, func() {
 		for i := 0; i < need; i++ {
 			s.addHost(idx)

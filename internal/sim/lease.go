@@ -1,0 +1,936 @@
+package sim
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"notebookos/internal/cluster"
+	"notebookos/internal/des"
+	"notebookos/internal/federation"
+	"notebookos/internal/trace"
+)
+
+// Shared virtual capacity pool
+//
+// The legacy sharded runners split cluster capacity proportionally once,
+// up front, and never let the shards talk again — cheap, but a worker
+// then saturates or autoscales on its own shard's load while another
+// shard's GPUs sit idle, and merged saved-GPU-hours drift well below the
+// unsharded run (measured 7-8 % at k=2, 19-22 % at k=4). No per-shard
+// formula closes that gap: the unsharded capacity trajectory is driven
+// by emergency scale-outs and empty-host availability — global placement
+// state a set of k independent clusters cannot reconstruct.
+//
+// The lease pool therefore keeps ONE source of capacity truth: a
+// capacity ledger, which is a full single-cluster (or single-federation)
+// simulation of the parent config — the exact run `Run(cfg)` would have
+// executed — advanced epoch-by-epoch in lockstep with the shard workers.
+// The ledger makes every capacity decision (formula autoscaling,
+// emergency scale-outs, empty-host scale-ins, migrations) the way the
+// unsharded run makes it, because it *is* the unsharded run; the shards
+// never decide capacity, they lease it:
+//
+//  1. trace.ProportionalShares still sizes the workers' clusters, but as
+//     the *initial lease grant* only;
+//  2. at every epoch boundary (default: the autoscale interval) the
+//     ledger and all workers rendezvous at a barrier, where the pool
+//     re-apportions the ledger's live host count across the shards —
+//     topping up shards whose next arrival would no longer place
+//     (draining their capacity wait-queues: the attach notification is
+//     the cross-shard wakeup), reclaiming idle hosts from shards holding
+//     more than they need;
+//  3. the merged Result reports the ledger's capacity metrics —
+//     provisioned/committed timelines, scale events and counters,
+//     integrated hours — which are byte-identical to the unsharded run's
+//     by construction (drift is exactly zero at every k). The workers
+//     contribute what sharding exists to parallelize: the task-level
+//     latency distributions, which retain a small, documented
+//     shard-local placement approximation.
+//
+// Between barriers the ledger and the workers are fully independent
+// single-threaded simulations, so determinism survives: each one's
+// randomness is a pure function of (seed, shard index), the barrier
+// provides the happens-before edges, and reconciliation order is fixed
+// by shard index. k <= 1 never enters this file and stays byte-identical
+// to Run. See docs/SHARDING.md for the full protocol, the cost model
+// (the ledger is a serial spine — Amdahl applies), and the measured
+// before/after drift.
+
+// ShardCapacity selects how sharded runners treat cluster capacity; see
+// Config.ShardCapacity.
+type ShardCapacity int
+
+const (
+	// LegacySplit is the static proportional capacity split (the zero
+	// value): shards never share capacity after the initial grant. Fast
+	// and byte-stable with prior releases, but saved-GPUh drifts with k.
+	LegacySplit ShardCapacity = iota
+	// LeasePool runs a shared virtual capacity pool: a capacity ledger
+	// replays the unsharded run's capacity decisions and the shards lease
+	// hosts from it at epoch barriers. Capacity metrics (saved-GPUh,
+	// scale events, provisioned/committed series) match the unsharded
+	// run exactly, at every shard count (pinned by
+	// TestShardedSavingsDriftBound and TestLeasePoolCapacityExact).
+	LeasePool
+)
+
+// epochBarrier is a reusable k-party generation barrier. The last
+// arrival runs the barrier action while every other party is parked on
+// the condition variable, then releases the generation — giving the
+// action exclusive access to all workers' state with the mutex providing
+// the happens-before edges the race detector (and the memory model)
+// demand.
+type epochBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	arrived int
+	gen     uint64
+}
+
+func newEpochBarrier(parties int) *epochBarrier {
+	b := &epochBarrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all parties arrive; the last arrival runs onLast,
+// then every party proceeds.
+func (b *epochBarrier) await(onLast func()) {
+	b.mu.Lock()
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.parties {
+		onLast()
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// epochBoundaries lists the barrier instants — start+epoch, start+2·epoch,
+// …, ending at the first boundary >= end. These are exactly the virtual
+// times the unsharded autoscaler ticks at, so the ledger's state at a
+// barrier is its state just after the tick the unsharded run would have
+// taken there.
+func epochBoundaries(start, end time.Time, epoch time.Duration) []time.Time {
+	var ts []time.Time
+	for t := start.Add(epoch); ; t = t.Add(epoch) {
+		ts = append(ts, t)
+		if !t.Before(end) {
+			return ts
+		}
+	}
+}
+
+// runBarriers drives the engines (the ledger's and the workers') in
+// epoch-sized steps: each engine runs to the next boundary on its own
+// goroutine, all rendezvous, the last arrival runs reconcile, and the
+// generation releases. After the final boundary each engine drains its
+// in-flight tail past the window independently, as Run does.
+func runBarriers(engines []*des.Engine, start, end time.Time, epoch time.Duration, reconcile func()) {
+	bounds := epochBoundaries(start, end, epoch)
+	bar := newEpochBarrier(len(engines))
+	var wg sync.WaitGroup
+	for _, eng := range engines {
+		eng := eng
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, t := range bounds {
+				eng.RunUntil(t)
+				bar.await(reconcile)
+			}
+			eng.RunUntil(end.Add(24 * time.Hour))
+		}()
+	}
+	wg.Wait()
+}
+
+// ---- planning (pure) -----------------------------------------------------
+
+// shardLoad is one worker's barrier-time capacity snapshot — plain
+// counters, so the planning step is a pure function testable without
+// running simulations (see TestLeaseConservation).
+type shardLoad struct {
+	// Hosts and PendingHosts are the shard's attached and in-flight host
+	// counts. EmptyHosts counts hosts with no replicas and no commitments
+	// (detachable as-is); IdleHosts counts hosts with no commitments
+	// (superset of empty: their idle replicas can be rehomed within the
+	// shard to free the host for return to the pool).
+	Hosts        int
+	PendingHosts int
+	EmptyHosts   int
+	IdleHosts    int
+	// Waiters counts tasks parked on the shard's capacity wait-queue.
+	Waiters int
+	// CommittedGPUs weights where fresh grants land; SubscribedGPUs and
+	// MaxReqGPUs drive the placement-headroom targets (MaxReqGPUs is the
+	// largest per-session GPU request the shard has seen — the
+	// conservative margin for the next arrival).
+	CommittedGPUs  int
+	SubscribedGPUs int
+	MaxReqGPUs     int
+	// Floor is the structural minimum host count the shard must keep.
+	Floor int
+}
+
+// leaseParams fixes the placement-headroom model's constants: one host
+// absorbs up to Watermark·GPUsPerHost·Replicas subscribed GPUs before
+// the placement policy stops considering it viable.
+type leaseParams struct {
+	GPUsPerHost int
+	Watermark   float64
+	Replicas    int
+}
+
+// leasePlan is one barrier's reconciliation, in hosts per shard. All
+// three moves are lease bookkeeping — instant, no scale events: the pool
+// level they track is owned by the ledger, which models provisioning
+// latency and records the events itself.
+type leasePlan struct {
+	// Transfer is the net host delta per shard from rebalancing within
+	// the current total: hosts move from shards holding idle capacity to
+	// shards at risk of a placement failure. Always sums to zero —
+	// transfers conserve the pool (TestLeaseConservation).
+	Transfer []int
+	// Provision is the fresh lease grant per shard when the ledger's
+	// level exceeds the shards' total. Sums to exactly the deficit.
+	Provision []int
+	// Retire is the lease return per shard when the shards' total exceeds
+	// the ledger's level; capped by each shard's surplus over its
+	// placement need, so it may under-shoot the excess — the next barrier
+	// retries against fresher state.
+	Retire []int
+}
+
+// planLeases computes one barrier's reconciliation from the shards'
+// snapshots and the ledger's live host count: first the rebalance
+// (idle hosts toward shards near placement failure), then grants or
+// returns to pin the shards' total to the ledger's. Pure function of its
+// inputs; all tie-breaks resolve toward the lower shard index.
+func planLeases(loads []shardLoad, target int, p leaseParams) leasePlan {
+	k := len(loads)
+	plan := leasePlan{
+		Transfer:  make([]int, k),
+		Provision: make([]int, k),
+		Retire:    make([]int, k),
+	}
+	// Phase 1: rebalance by placement headroom. The residual shard-local
+	// distortion in a split is the emergency scale-out: session creation
+	// needs R hosts under the SR watermark, a hot shard runs out of
+	// watermark headroom the pool still had globally, and the shard
+	// instantly provisions R hosts the ledger never charged. So each
+	// shard's need is the host count at which the *next* arrival still
+	// places — its subscribed GPUs plus a worst-seen-request margin,
+	// divided by the per-host watermark budget, never below R while the
+	// shard hosts sessions — and the pool tops deficit shards up from
+	// shards holding idle hosts beyond their own need, *before* the
+	// failure happens. Donors free non-empty idle hosts by rehoming their
+	// idle replicas within the shard (see sim.donateHosts).
+	capPerHost := p.Watermark * float64(p.GPUsPerHost*p.Replicas)
+	needs := make([]int, k)
+	spare := make([]int, k)
+	want := make([]int, k)
+	total := 0
+	for i, l := range loads {
+		total += l.Hosts + l.PendingHosts
+		need := 1
+		if l.SubscribedGPUs > 0 {
+			denom := capPerHost - float64(l.MaxReqGPUs)
+			if denom < 1 {
+				denom = 1
+			}
+			need = int(math.Ceil(float64(l.SubscribedGPUs) / denom))
+			if need < p.Replicas {
+				need = p.Replicas
+			}
+		}
+		if need < l.Floor {
+			need = l.Floor
+		}
+		needs[i] = need
+		w := need - (l.Hosts + l.PendingHosts)
+		if w < l.Waiters {
+			w = l.Waiters
+		}
+		if w < 0 {
+			w = 0
+		}
+		want[i] = w
+		s := l.IdleHosts
+		if m := l.Hosts - need; s > m {
+			s = m
+		}
+		if s < 0 {
+			s = 0
+		}
+		spare[i] = s
+	}
+	planTransfers(spare, want, plan.Transfer)
+
+	// Phase 2: pin the shards' total to the ledger's level. A deficit
+	// becomes fresh grants — unmet wants first (transfers ran out of
+	// spare), the remainder largest-remainder over committed load, so new
+	// capacity lands where the demand is (ProportionalShares falls back
+	// to an even split when nothing is committed yet). An excess becomes
+	// lease returns in shard-index order, never below a shard's placement
+	// need or structural floor, and never from a shard with parked
+	// waiters.
+	if delta := target - total; delta > 0 {
+		for i := 0; i < k && delta > 0; i++ {
+			g := want[i]
+			if g > delta {
+				g = delta
+			}
+			plan.Provision[i] = g
+			delta -= g
+		}
+		if delta > 0 {
+			weights := make([]float64, k)
+			for i, l := range loads {
+				weights[i] = float64(l.CommittedGPUs)
+			}
+			for i, n := range trace.ProportionalShares(weights, delta, 0) {
+				plan.Provision[i] += n
+			}
+		}
+	} else if delta < 0 {
+		excess := -delta
+		for i, l := range loads {
+			if excess == 0 {
+				break
+			}
+			if l.Waiters > 0 {
+				continue
+			}
+			floor := needs[i]
+			if floor < l.Floor {
+				floor = l.Floor
+			}
+			avail := l.Hosts + plan.Transfer[i] - floor
+			if avail > excess {
+				avail = excess
+			}
+			if avail > 0 {
+				plan.Retire[i] = avail
+				excess -= avail
+			}
+		}
+	}
+	return plan
+}
+
+// planTransfers fills transfer with the barrier's instant host moves:
+// want[i] hosts toward shard i, drawn from the other shards' spare in
+// shard-index order (lower-index takers fill first, from lower-index
+// donors first — the fixed order is part of the determinism argument).
+// spare and want are consumed in place; what remains in want is the
+// unmet residue the grant phase may cover. The resulting deltas always
+// sum to zero: transfers move leases between shards, they never create
+// or destroy capacity.
+func planTransfers(spare, want []int, transfer []int) {
+	for i := range transfer {
+		transfer[i] = 0
+		// A shard holding both waiters and spare idle hosts serves itself
+		// first (rare: an idle host normally drains the queue before the
+		// barrier).
+		if n := min(spare[i], want[i]); n > 0 {
+			spare[i] -= n
+			want[i] -= n
+		}
+	}
+	for i := range want {
+		for j := 0; j < len(spare) && want[i] > 0; j++ {
+			if j == i || spare[j] == 0 {
+				continue
+			}
+			give := spare[j]
+			if give > want[i] {
+				give = want[i]
+			}
+			spare[j] -= give
+			transfer[j] -= give
+			transfer[i] += give
+			want[i] -= give
+		}
+	}
+}
+
+// leaseFloor is each shard's structural host floor: one host, so the
+// worker's cluster never empties (a zero-host shard would deadlock its
+// own capacity wait-queue). The placement need (planLeases) supplies the
+// dynamic R-host floor while a shard actually holds sessions; a hard R
+// floor would pin k·R hosts through idle periods the ledger spends near
+// its MinHosts level.
+const leaseFloor = 1
+
+// ---- single-cluster pool -------------------------------------------------
+
+// leaseDebug, when non-nil, observes every barrier's snapshot and plan
+// (test instrumentation only).
+var leaseDebug func([]shardLoad, leasePlan)
+
+// leasePool coordinates the capacity ledger and k single-cluster workers
+// at epoch barriers.
+type leasePool struct {
+	ledger  *sim
+	workers []*sim
+	params  leaseParams
+	loads   []shardLoad
+}
+
+// reconcile runs one barrier's reconciliation; it executes inside the
+// barrier action, so the ledger and every worker are parked and the pool
+// has exclusive access to all of them.
+func (p *leasePool) reconcile() {
+	for i, w := range p.workers {
+		p.loads[i] = w.leaseLoad()
+	}
+	plan := planLeases(p.loads, p.ledger.cluster.NumHosts(), p.params)
+	if leaseDebug != nil {
+		leaseDebug(p.loads, plan)
+	}
+	// Detach before attach, and attach only what donors actually freed
+	// (an eviction can fail when the remaining hosts lack watermark room
+	// for a replica), so transfers conserve the shards' total by
+	// construction.
+	pot := 0
+	for i, d := range plan.Transfer {
+		if d < 0 {
+			pot += p.workers[i].donateHosts(-d)
+		}
+	}
+	for i, d := range plan.Transfer {
+		if d > 0 && pot > 0 {
+			g := d
+			if g > pot {
+				g = pot
+			}
+			p.workers[i].attachHosts(g)
+			pot -= g
+		}
+	}
+	for i, n := range plan.Provision {
+		if n > 0 {
+			p.workers[i].attachHosts(n)
+		}
+	}
+	for i, n := range plan.Retire {
+		if n > 0 {
+			p.workers[i].donateHosts(n)
+		}
+	}
+}
+
+// leaseLoad snapshots the worker's barrier-time counters for the pool.
+// Only called from the barrier action, while the worker is parked.
+func (s *sim) leaseLoad() shardLoad {
+	l := shardLoad{
+		Hosts:          s.cluster.NumHosts(),
+		PendingHosts:   s.pendingHosts,
+		Waiters:        s.waitq.Len(),
+		CommittedGPUs:  s.cluster.CommittedGPUs(),
+		SubscribedGPUs: s.cluster.SubscribedGPUs(),
+		MaxReqGPUs:     s.leaseMaxReq,
+		Floor:          leaseFloor,
+	}
+	for _, sh := range s.hostList {
+		if sh.h.Committed().IsZero() {
+			l.IdleHosts++
+			if sh.h.NumReplicas() == 0 {
+				l.EmptyHosts++
+			}
+		}
+	}
+	return l
+}
+
+// attachHosts attaches n leased hosts now: the capacity already exists in
+// the pool, so there is no provisioning latency and no scale-out event
+// (the ledger models both). The cluster's AddHost notification queues a
+// wait-queue drain at the barrier instant — the cross-shard wakeup:
+// tasks parked here retry against capacity the pool just granted.
+func (s *sim) attachHosts(n int) {
+	for i := 0; i < n; i++ {
+		s.addHost()
+	}
+	if n > 0 {
+		s.sampleProvisioned()
+	}
+}
+
+// detachEmptyHosts detaches up to n empty hosts (no replicas, nothing
+// committed) and returns the count removed. No scale-in event: the lease
+// moves, the pool level is the ledger's to change.
+func (s *sim) detachEmptyHosts(n int) int {
+	removed := 0
+	for i := 0; i < len(s.hostList) && removed < n; {
+		sh := s.hostList[i]
+		if sh.h.NumReplicas() == 0 && sh.h.Committed().IsZero() {
+			if err := s.cluster.RemoveHost(sh.h.ID); err == nil {
+				s.hostList = append(s.hostList[:i], s.hostList[i+1:]...)
+				removed++
+				continue
+			}
+		}
+		i++
+	}
+	if removed > 0 {
+		s.sampleProvisioned()
+	}
+	return removed
+}
+
+// donateHosts frees up to n hosts for return to the pool (or transfer to
+// another shard) and reports the count actually detached: natural
+// empties first, then committed-free hosts whose idle replicas rehome
+// onto this shard's remaining hosts. An idle replica holds no execution
+// state (its checkpoints live in the remote store), so the rehoming is
+// barrier-time bookkeeping — no latency, no migration event;
+// docs/SHARDING.md spells out this modeling choice.
+func (s *sim) donateHosts(n int) int {
+	removed := s.detachEmptyHosts(n)
+	for removed < n && s.evictOneHost() {
+		removed++
+	}
+	return removed
+}
+
+// evictOneHost picks the committed-free host with the fewest replicas,
+// rehomes each replica onto another host (most-subscribed candidate
+// under the SR watermark, never two replicas of one session together),
+// detaches the emptied host, and reports success. A half-evicted host
+// (a replica with no viable target) stays attached with the moves kept —
+// still a valid state; a later barrier may finish the job.
+func (s *sim) evictOneHost() bool {
+	var victim *simHost
+	for _, sh := range s.hostList {
+		if !sh.h.Committed().IsZero() || sh.h.NumReplicas() == 0 {
+			continue
+		}
+		if victim == nil || sh.h.NumReplicas() < victim.h.NumReplicas() {
+			victim = sh
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	gphr := float64(s.cfg.HostCapacity.GPUs * s.cfg.ReplicasPerKernel)
+	for _, ss := range s.leaseSessions {
+		if ss.closed {
+			continue
+		}
+		for idx, h := range ss.hosts {
+			if h != victim.h {
+				continue
+			}
+			var best *cluster.Host
+			bestSub := -1
+			for _, cand := range s.hostList {
+				ch := cand.h
+				if ch == victim.h || hostsContain(ss.hosts, ch) || !ss.req.Fits(ch.Capacity) {
+					continue
+				}
+				sub := ch.SubscribedGPUs()
+				if float64(sub+ss.req.GPUs)/gphr > s.cfg.SRHighWatermark {
+					continue
+				}
+				if sub > bestSub {
+					bestSub, best = sub, ch
+				}
+			}
+			if best == nil {
+				return false
+			}
+			key := ss.replicaKeyFor(idx + 1)
+			_ = victim.h.RemoveReplica(key)
+			_ = best.PlaceReplica(key, ss.req)
+			ss.hosts[idx] = best
+		}
+	}
+	if victim.h.NumReplicas() > 0 {
+		// Replicas this worker no longer tracks (defensive) block eviction.
+		return false
+	}
+	return s.detachEmptyHosts(1) == 1
+}
+
+// runShardedLeased builds the capacity ledger from the parent config and
+// lease-managed workers from the prepared worker configs (whose Hosts
+// fields carry the initial lease grants), then drives all of them
+// through the barrier protocol. cfg must be exactly what Run would have
+// received — the ledger's result is the unsharded run's, byte for byte.
+func runShardedLeased(cfg Config, wcfgs []Config) (*Result, error) {
+	ledger, err := newSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer ledger.close()
+	workers := make([]*sim, len(wcfgs))
+	for i := range wcfgs {
+		wcfgs[i].leaseManaged = true
+		w, err := newSim(wcfgs[i])
+		if err != nil {
+			for _, b := range workers[:i] {
+				b.close()
+			}
+			return nil, err
+		}
+		workers[i] = w
+	}
+	defer func() {
+		for _, w := range workers {
+			w.close()
+		}
+	}()
+	pool := &leasePool{
+		ledger:  ledger,
+		workers: workers,
+		params: leaseParams{
+			GPUsPerHost: cfg.HostCapacity.GPUs,
+			Watermark:   cfg.SRHighWatermark,
+			Replicas:    cfg.ReplicasPerKernel,
+		},
+		loads: make([]shardLoad, len(wcfgs)),
+	}
+	engines := make([]*des.Engine, 0, len(workers)+1)
+	engines = append(engines, ledger.eng)
+	for _, w := range workers {
+		engines = append(engines, w.eng)
+	}
+	runBarriers(engines, ledger.start, ledger.end, cfg.LeaseEpoch, pool.reconcile)
+	lres, err := ledger.finish()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(workers))
+	for i, w := range workers {
+		r, err := w.finish()
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
+	}
+	return leasedResult(lres, MergeResults(results...)), nil
+}
+
+// leasedResult assembles the LeasePool result: the ledger is
+// authoritative for everything the cluster determines — capacity and
+// commitment timelines, scale/migration events and counters, integrated
+// hours — all byte-identical to the unsharded run. The workers are
+// authoritative for what sharding parallelizes: the task-level latency
+// distributions (which keep the shard-local placement approximation) and
+// the session/task counts proving no work was lost in the split.
+func leasedResult(ledger, merged *Result) *Result {
+	out := *ledger
+	out.Interactivity = merged.Interactivity
+	out.TCT = merged.TCT
+	out.StepLatency = merged.StepLatency
+	out.SyncLatency = merged.SyncLatency
+	out.ReadLatency = merged.ReadLatency
+	out.WriteLatency = merged.WriteLatency
+	out.Sessions = merged.Sessions
+	out.Tasks = merged.Tasks
+	return &out
+}
+
+// ---- federated pool ------------------------------------------------------
+
+// fedLeasePool coordinates the federated capacity ledger and k worker
+// federations at epoch barriers. Host shapes differ across members, so
+// leases move between shards only within a member; the ledger carries
+// the parent's autoscaling — including, under PooledAutoscale, the
+// federation.FederatedAutoscaler deciding once per tick over the whole
+// (pooled) workload's counters.
+type fedLeasePool struct {
+	ledger   *fedSim
+	workers  []*fedSim
+	specs    []FedClusterSpec
+	replicas int
+
+	// Reusable buffers: loads[i][m] is shard i's snapshot of member m.
+	loads    [][]federation.MemberLoad
+	spare    []int
+	want     []int
+	transfer []int
+	weights  []float64
+}
+
+// floor returns the hosts member m of shard i must keep: one host (the
+// worker-topology invariant — every worker federation keeps every
+// member), raised to R when m is the shard's only member with R hosts —
+// the placement anchor: a shard whose every member is below R cannot
+// place any kernel and would emergency-scale on each arrival.
+func (p *fedLeasePool) floor(i, m int) int {
+	f := 1
+	if r := p.replicas; r > f && p.loads[i][m].Hosts >= r {
+		anchored := 0
+		for mm := range p.specs {
+			if p.loads[i][mm].Hosts >= r {
+				anchored++
+			}
+		}
+		if anchored == 1 {
+			f = r
+		}
+	}
+	return f
+}
+
+// reconcile runs one barrier's reconciliation (inside the barrier
+// action; the ledger and all workers parked). Order is fixed: members
+// ascending, shards ascending within a member.
+func (p *fedLeasePool) reconcile() {
+	k := len(p.workers)
+	for i, w := range p.workers {
+		w.fillLeaseLoads(p.loads[i])
+	}
+	for m := range p.specs {
+		// Phase 1: rebalance within the member toward the
+		// subscription-proportional ideal (equal shard SRs reproduce what
+		// global placement would have seen and prevent emergency
+		// scale-outs), with waiters homed at the member raising a shard's
+		// ask further. The federated pool moves only natural empties — no
+		// replica eviction (docs/SHARDING.md records the simplification).
+		totalHosts := 0
+		for i := 0; i < k; i++ {
+			totalHosts += p.loads[i][m].Hosts
+			p.weights[i] = float64(p.loads[i][m].SubscribedGPUs)
+		}
+		ideal := trace.ProportionalShares(p.weights, totalHosts, 1)
+		for i := 0; i < k; i++ {
+			l := p.loads[i][m]
+			target := ideal[i]
+			if f := p.floor(i, m); target < f {
+				target = f
+			}
+			w := target - l.Hosts
+			if d := p.workers[i].qdepth[m]; w < d {
+				w = d
+			}
+			if w < 0 {
+				w = 0
+			}
+			p.want[i] = w
+			s := l.EmptyHosts
+			if max := l.Hosts - target; s > max {
+				s = max
+			}
+			if s < 0 {
+				s = 0
+			}
+			p.spare[i] = s
+		}
+		planTransfers(p.spare, p.want, p.transfer)
+		for i, d := range p.transfer {
+			if d < 0 {
+				p.workers[i].detachMemberEmpty(m, -d)
+			}
+		}
+		for i, d := range p.transfer {
+			if d > 0 {
+				p.workers[i].attachMemberHosts(m, d)
+			}
+		}
+		for i, d := range p.transfer {
+			p.loads[i][m].Hosts += d
+			p.loads[i][m].EmptyHosts += d // transfers move only empties
+		}
+		// Phase 2: pin the shards' member-m total to the ledger's level —
+		// grants toward unmet wants first, then largest-remainder over
+		// committed load; returns in shard-index order from natural
+		// empties above the floor.
+		total := 0
+		for i := 0; i < k; i++ {
+			total += p.loads[i][m].Hosts + p.loads[i][m].PendingHosts
+		}
+		if delta := p.ledger.members[m].c.NumHosts() - total; delta > 0 {
+			for i := 0; i < k && delta > 0; i++ {
+				g := p.want[i]
+				if g > delta {
+					g = delta
+				}
+				if g > 0 {
+					p.workers[i].attachMemberHosts(m, g)
+					p.loads[i][m].Hosts += g
+					delta -= g
+				}
+			}
+			if delta > 0 {
+				for i := 0; i < k; i++ {
+					p.weights[i] = float64(p.loads[i][m].CommittedGPUs)
+				}
+				for i, n := range trace.ProportionalShares(p.weights, delta, 0) {
+					if n > 0 {
+						p.workers[i].attachMemberHosts(m, n)
+						p.loads[i][m].Hosts += n
+					}
+				}
+			}
+		} else if delta < 0 {
+			excess := -delta
+			for i := 0; i < k && excess > 0; i++ {
+				if p.workers[i].qdepth[m] > 0 {
+					continue
+				}
+				l := p.loads[i][m]
+				avail := l.EmptyHosts
+				if max := l.Hosts - p.floor(i, m); avail > max {
+					avail = max
+				}
+				if avail > excess {
+					avail = excess
+				}
+				if avail <= 0 {
+					continue
+				}
+				removed := p.workers[i].detachMemberEmpty(m, avail)
+				p.loads[i][m].Hosts -= removed
+				p.loads[i][m].EmptyHosts -= removed
+				excess -= removed
+			}
+		}
+	}
+}
+
+// fillLeaseLoads snapshots every member's barrier-time counters. Only
+// called from the barrier action, while the worker is parked.
+func (s *fedSim) fillLeaseLoads(out []federation.MemberLoad) {
+	for i, m := range s.members {
+		l := federation.MemberLoad{
+			Hosts:          m.c.NumHosts(),
+			PendingHosts:   m.pendingHosts,
+			GPUsPerHost:    m.spec.HostCapacity.GPUs,
+			CommittedGPUs:  m.c.CommittedGPUs(),
+			SubscribedGPUs: m.c.SubscribedGPUs(),
+		}
+		for _, fh := range m.hosts {
+			if hostEmpty(fh) {
+				l.EmptyHosts++
+			}
+		}
+		out[i] = l
+	}
+}
+
+// attachMemberHosts attaches n leased hosts to member m now — see
+// sim.attachHosts: no latency, no scale event, and the AddHost
+// notification is the cross-shard wakeup at the boundary.
+func (s *fedSim) attachMemberHosts(m, n int) {
+	for i := 0; i < n; i++ {
+		s.addHost(m)
+	}
+	if n > 0 {
+		s.sampleProvisioned()
+	}
+}
+
+// detachMemberEmpty detaches up to n empty hosts from member mi and
+// returns the count removed — see sim.detachEmptyHosts.
+func (s *fedSim) detachMemberEmpty(mi, n int) int {
+	m := s.members[mi]
+	removed := 0
+	for i := 0; i < len(m.hosts) && removed < n; {
+		if s.removeHostIfEmpty(m, i) {
+			removed++
+			continue
+		}
+		i++
+	}
+	if removed > 0 {
+		s.sampleProvisioned()
+	}
+	return removed
+}
+
+// runFederatedShardedLeased builds the federated capacity ledger from
+// the parent config and lease-managed worker federations from the
+// prepared worker configs, then drives all of them through the barrier
+// protocol. cfg must be exactly what RunFederated would have received —
+// the ledger's result is the unsharded run's, byte for byte.
+func runFederatedShardedLeased(cfg FedConfig, wcfgs []FedConfig) (*FedResult, error) {
+	// cfg already went through withDefaults (which normalizes an explicit
+	// NoInterClusterPenalty to 0); restore the sentinel so the ledger's
+	// own defaulting pass keeps it zero instead of re-defaulting.
+	if cfg.InterClusterPenalty == 0 {
+		cfg.InterClusterPenalty = NoInterClusterPenalty
+	}
+	ledger, err := newFedSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer ledger.close()
+	k := len(wcfgs)
+	workers := make([]*fedSim, k)
+	for i := range wcfgs {
+		wcfgs[i].leaseManaged = true
+		w, err := newFedSim(wcfgs[i])
+		if err != nil {
+			for _, b := range workers[:i] {
+				b.close()
+			}
+			return nil, err
+		}
+		workers[i] = w
+	}
+	defer func() {
+		for _, w := range workers {
+			w.close()
+		}
+	}()
+	pool := &fedLeasePool{
+		ledger:   ledger,
+		workers:  workers,
+		specs:    cfg.Clusters,
+		replicas: cfg.ReplicasPerKernel,
+		spare:    make([]int, k),
+		want:     make([]int, k),
+		transfer: make([]int, k),
+		weights:  make([]float64, k),
+	}
+	pool.loads = make([][]federation.MemberLoad, k)
+	for i := range pool.loads {
+		pool.loads[i] = make([]federation.MemberLoad, len(cfg.Clusters))
+	}
+	engines := make([]*des.Engine, 0, k+1)
+	engines = append(engines, ledger.eng)
+	for _, w := range workers {
+		engines = append(engines, w.eng)
+	}
+	runBarriers(engines, ledger.start, ledger.end, cfg.LeaseEpoch, pool.reconcile)
+	lres, err := ledger.finish()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*FedResult, k)
+	for i, w := range workers {
+		r, err := w.finish()
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
+	}
+	return leasedFedResult(lres, MergeFedResults(results...)), nil
+}
+
+// leasedFedResult assembles the federated LeasePool result — the same
+// split as leasedResult: the ledger owns the per-cluster and
+// federation-wide capacity series, routing and scale counters, and
+// integrated hours (byte-identical to RunFederated); the workers own the
+// latency distributions and the task count.
+func leasedFedResult(ledger, merged *FedResult) *FedResult {
+	out := *ledger
+	out.Interactivity = merged.Interactivity
+	out.TCT = merged.TCT
+	out.ClassDelay = merged.ClassDelay
+	out.Tasks = merged.Tasks
+	return &out
+}

@@ -43,20 +43,28 @@ func splitmix64(x uint64) uint64 {
 // default), and ScalingBufferHosts (no floor; its zero is a real zero).
 // Worker i runs with ShardSeed(Seed, i).
 //
-// The approximation contract: shards do not share cluster capacity. A
-// worker saturates or autoscales on its own shard's load, so transient
-// peaks that the unsharded cluster absorbed with another shard's idle
-// GPUs instead trigger per-shard scale-outs, host-granularity rounding is
-// paid per shard, and a smaller worker cluster more often fails to place
-// R distinct replicas (synchronous scale-out). Merged saved-GPU-hours
-// therefore drift below the unsharded run; the contract, pinned by
-// TestShardedSavingsDriftBound on mid-size traces, bounds the drift at
-// 12 % of the trace's reserved GPU-hours at k=2 and 25 % at k=4 —
-// measured 7-8 % and 19-22 %. The drift grows with k and shrinks as
-// shards get larger, so prefer the smallest k that saturates the
-// machine. Interactivity and TCT distributions are unbiased by
-// construction: every task runs under the same policy code, just on a
-// proportionally smaller cluster.
+// Capacity semantics depend on cfg.ShardCapacity (see docs/SHARDING.md
+// for the full story and measured drift):
+//
+//   - LeasePool (recommended): the proportional split is only the initial
+//     lease grant. A capacity ledger — a full unsharded replay of cfg —
+//     runs alongside the workers, and at every epoch boundary
+//     (cfg.LeaseEpoch, default the autoscale interval) the workers'
+//     leases are re-apportioned to sum exactly to the ledger's live host
+//     count. The merged result reports the ledger's capacity metrics, so
+//     saved-GPU-hours, scale events, and every other cluster-determined
+//     number are byte-identical to the unsharded run at every k — drift
+//     exactly 0.000% (pinned by TestLeasePoolCapacityExact and, at ≤1%,
+//     by TestShardedSavingsDriftBound).
+//   - LegacySplit (the zero value): shards never share capacity after the
+//     initial grant. A worker saturates or autoscales on its own shard's
+//     load, so transient peaks the unsharded cluster absorbed with another
+//     shard's idle GPUs instead trigger per-shard scale-outs, and merged
+//     saved-GPU-hours drift below the unsharded run — measured 7-8% at
+//     k=2 and 19-22% at k=4 (bounded at 12% / 25% by the same test).
+//
+// Interactivity and TCT distributions are unbiased by construction under
+// either mode: every task runs under the same policy code.
 func RunSharded(cfg Config, shards int) (*Result, error) {
 	if shards <= 1 {
 		return Run(cfg)
@@ -84,9 +92,7 @@ func RunSharded(cfg Config, shards int) (*Result, error) {
 	minHosts := floorShares(weights, cfg.MinHosts)
 	buffers := trace.ProportionalShares(weights, cfg.ScalingBufferHosts, 0)
 
-	results := make([]*Result, len(parts))
-	errs := make([]error, len(parts))
-	var wg sync.WaitGroup
+	wcfgs := make([]Config, len(parts))
 	for i := range parts {
 		wcfg := cfg
 		wcfg.Trace = parts[i].Trace
@@ -94,11 +100,21 @@ func RunSharded(cfg Config, shards int) (*Result, error) {
 		wcfg.MinHosts = minHosts[i]
 		wcfg.ScalingBufferHosts = buffers[i]
 		wcfg.Seed = ShardSeed(cfg.Seed, i)
+		wcfgs[i] = wcfg
+	}
+	if cfg.ShardCapacity == LeasePool {
+		return runShardedLeased(cfg, wcfgs)
+	}
+
+	results := make([]*Result, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i := range wcfgs {
 		wg.Add(1)
 		go func(i int, wcfg Config) {
 			defer wg.Done()
 			results[i], errs[i] = Run(wcfg)
-		}(i, wcfg)
+		}(i, wcfgs[i])
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -228,9 +244,15 @@ func mergeEvents(results []*Result, total int) []Event {
 // FedMinHosts floor — whether caller-set or defaulted by the parent
 // config — split proportionally across the shards like the hosts do
 // (floored at 1 per worker), so the configured scale-in policy survives
-// sharding. k <= 1 is exactly RunFederated. The RunSharded approximation
-// contract applies here per member: shard federations do not share
-// capacity.
+// sharding. k <= 1 is exactly RunFederated. Capacity semantics follow
+// cfg.ShardCapacity as in RunSharded, applied per member: under LeasePool
+// a ledger federation replays the whole cfg (including PooledAutoscale's
+// one-decision-per-tick over the pooled counters), leases move between
+// shards within a member (host shapes differ across members), and each
+// member's lease total is pinned to the ledger member's live host count —
+// so per-member capacity series and the federation-wide savings are exact
+// (TestLeasePoolFederatedCapacityExact); under LegacySplit shard
+// federations never share capacity.
 func RunFederatedSharded(cfg FedConfig, shards int) (*FedResult, error) {
 	if shards <= 1 {
 		return RunFederated(cfg)
@@ -275,9 +297,7 @@ func RunFederatedSharded(cfg FedConfig, shards int) (*FedResult, error) {
 	}
 	fedFloors := floorShares(weights, cfg.FedMinHosts)
 
-	results := make([]*FedResult, len(parts))
-	errs := make([]error, len(parts))
-	var wg sync.WaitGroup
+	wcfgs := make([]FedConfig, len(parts))
 	for i := range parts {
 		wcfg := cfg
 		wcfg.Trace = parts[i].Trace
@@ -298,11 +318,21 @@ func RunFederatedSharded(cfg FedConfig, shards int) (*FedResult, error) {
 		// Stateful route policies (round-robin's rotation counter) must
 		// not be shared across the parallel workers.
 		wcfg.Route = federation.FreshPolicy(cfg.Route)
+		wcfgs[i] = wcfg
+	}
+	if cfg.ShardCapacity == LeasePool {
+		return runFederatedShardedLeased(cfg, wcfgs)
+	}
+
+	results := make([]*FedResult, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i := range wcfgs {
 		wg.Add(1)
 		go func(i int, wcfg FedConfig) {
 			defer wg.Done()
 			results[i], errs[i] = RunFederated(wcfg)
-		}(i, wcfg)
+		}(i, wcfgs[i])
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -106,6 +106,24 @@ type Config struct {
 	Seed int64
 	// SampleEvery is the metrics sampling period (default 5 min).
 	SampleEvery time.Duration
+	// ShardCapacity selects how the sharded runners treat cluster capacity.
+	// Run itself ignores it: the choice only exists when a trace is split
+	// across workers. LegacySplit (the zero value) keeps the static
+	// proportional split; LeasePool reconciles a shared virtual capacity
+	// pool at epoch barriers so k>1 tracks the unsharded run to ~1%. See
+	// RunSharded and docs/SHARDING.md.
+	ShardCapacity ShardCapacity
+	// LeaseEpoch is the barrier period of the LeasePool capacity protocol
+	// (default AutoscaleInterval, so pooled capacity decisions keep the
+	// unsharded autoscaler's cadence). Only meaningful with
+	// ShardCapacity == LeasePool.
+	LeaseEpoch time.Duration
+
+	// leaseManaged marks a sharded worker whose capacity is governed by a
+	// lease pool at epoch barriers: the worker's own autoscale ticks are
+	// suppressed (the pool makes one global decision per barrier with the
+	// unsharded formula). Set only by the lease runner, never by callers.
+	leaseManaged bool
 }
 
 func (c *Config) withDefaults() error {
@@ -135,6 +153,9 @@ func (c *Config) withDefaults() error {
 	}
 	if c.AutoscaleInterval <= 0 {
 		c.AutoscaleInterval = time.Minute
+	}
+	if c.LeaseEpoch <= 0 {
+		c.LeaseEpoch = c.AutoscaleInterval
 	}
 	if c.MinHosts <= 0 {
 		c.MinHosts = 4
@@ -275,10 +296,12 @@ type sim struct {
 	// arrival order).
 	kind string
 	wr   *rand.Rand
-	// pull yields the source's next session under streaming; srcErr holds
-	// the source's iteration error once the stream is exhausted.
-	pull   func() (*trace.Session, bool)
-	srcErr error
+	// pull yields the source's next session under streaming; stopPull
+	// releases the iterator (see close); srcErr holds the source's
+	// iteration error once the stream is exhausted.
+	pull     func() (*trace.Session, bool)
+	stopPull func()
+	srcErr   error
 	// reserved integrates reserved GPUs (session request sizes over session
 	// lifetimes) online, replacing the trace-scan integral when streaming.
 	reserved gpuHoursAcc
@@ -292,6 +315,14 @@ type sim struct {
 	// waitq parks tasks blocked on cluster capacity; it is woken by the
 	// cluster's Release/AddHost notifications.
 	waitq *capacityWaitQueue
+
+	// Lease-pool bookkeeping, maintained only when cfg.leaseManaged: the
+	// live NotebookOS sessions in arrival order (so barrier-time replica
+	// rehoming can find a replica's owner deterministically) and the
+	// largest per-session GPU request seen (the headroom margin the pool
+	// plans with).
+	leaseSessions []*simSession
+	leaseMaxReq   int
 }
 
 // holderKind names the exclusive-commit key namespace each policy's task
@@ -352,6 +383,23 @@ func decimalDigits(i int) int {
 
 // Run executes the simulation and returns its result.
 func Run(cfg Config) (*Result, error) {
+	s, err := newSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.close()
+	s.eng.RunUntil(s.end.Add(24 * time.Hour))
+	return s.finish()
+}
+
+// newSim builds a ready-to-run simulation: cluster and hosts in place,
+// every trace (or injector) event scheduled, sampling and autoscale ticks
+// armed. Callers drive the engine themselves — Run in one RunUntil shot to
+// past the window's end, the lease runner (runLeased) in epoch-sized steps
+// with barrier reconciliation between them — and then collect the result
+// with finish. Pair with close, which releases the streaming source's
+// iterator.
+func newSim(cfg Config) (*sim, error) {
 	if err := cfg.withDefaults(); err != nil {
 		return nil, err
 	}
@@ -454,7 +502,7 @@ func Run(cfg Config) (*Result, error) {
 		next, stop := iter.Pull(func(yield func(*trace.Session) bool) {
 			s.srcErr = src.Sessions(yield)
 		})
-		defer stop()
+		s.stopPull = stop
 		s.pull = next
 		if first, ok := next(); ok {
 			s.eng.ScheduleRunner(first.Start, &injector{s: s, sess: first})
@@ -480,12 +528,28 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	// Periodic sampling and autoscaling.
+	// Periodic sampling and autoscaling. A lease-managed worker skips its
+	// own autoscale ticks: the pool runs the same formula once per barrier
+	// over the pooled counters instead.
 	s.scheduleSampling()
-	if cfg.Policy == PolicyNotebookOS || cfg.Policy == PolicyLCP {
+	if (cfg.Policy == PolicyNotebookOS || cfg.Policy == PolicyLCP) && !cfg.leaseManaged {
 		s.scheduleAutoscale()
 	}
-	s.eng.RunUntil(end.Add(24 * time.Hour))
+	return s, nil
+}
+
+// close releases the streaming source's iterator; safe on any sim and
+// safe to call more than once.
+func (s *sim) close() {
+	if s.stopPull != nil {
+		s.stopPull()
+		s.stopPull = nil
+	}
+}
+
+// finish surfaces a streaming-source error and computes the integrated
+// metrics. Call once, after the engine has run past the window's end.
+func (s *sim) finish() (*Result, error) {
 	if s.srcErr != nil {
 		return nil, s.srcErr
 	}
@@ -552,6 +616,12 @@ func (s *sim) sessionStart(ss *simSession) {
 			_ = h.PlaceReplica(ss.replicaKeyFor(i+1), ss.req)
 		}
 		ss.hosts = hosts
+		if s.cfg.leaseManaged {
+			s.leaseSessions = append(s.leaseSessions, ss)
+			if ss.req.GPUs > s.leaseMaxReq {
+				s.leaseMaxReq = ss.req.GPUs
+			}
+		}
 		s.recordEvent(scheduler.EventKernelCreated)
 		s.sampleSR()
 	case PolicyBatch, PolicyLCP:
@@ -574,6 +644,14 @@ func (s *sim) sessionEnd(ss *simSession) {
 	case PolicyNotebookOS:
 		for i, h := range ss.hosts {
 			_ = h.RemoveReplica(ss.replicaKeyFor(i + 1))
+		}
+		if s.cfg.leaseManaged {
+			for i, live := range s.leaseSessions {
+				if live == ss {
+					s.leaseSessions = append(s.leaseSessions[:i], s.leaseSessions[i+1:]...)
+					break
+				}
+			}
 		}
 		s.sampleSR()
 	}
@@ -1008,17 +1086,7 @@ func (s *sim) autoscaleOnce() {
 
 	if float64(total) < expected {
 		need := int(math.Ceil((expected - float64(total)) / float64(gpusPerHost)))
-		s.pendingHosts += need
-		s.res.ScaleOuts++
-		s.recordEvent(scheduler.EventScaleOut)
-		provision := s.cfg.Latencies.HostProvision(s.rng)
-		s.eng.Defer(provision, func() {
-			for i := 0; i < need; i++ {
-				s.addHost()
-			}
-			s.pendingHosts -= need
-			s.sampleProvisioned()
-		})
+		s.provisionAt(need, s.cfg.Latencies.HostProvision(s.rng))
 		return
 	}
 	// Scale in: release up to 2 idle servers (no replicas, nothing
@@ -1051,6 +1119,24 @@ func (s *sim) autoscaleOnce() {
 			s.sampleProvisioned()
 		}
 	}
+}
+
+// provisionAt starts a scale-out of need hosts: they count as pending
+// immediately and land after the given provisioning latency. The latency
+// is a parameter, not a draw, so the lease pool can charge its own rng's
+// draw (one per pooled decision, like the unsharded autoscaler's one per
+// tick) while the worker's local paths pass a worker-rng draw.
+func (s *sim) provisionAt(need int, provision time.Duration) {
+	s.pendingHosts += need
+	s.res.ScaleOuts++
+	s.recordEvent(scheduler.EventScaleOut)
+	s.eng.Defer(provision, func() {
+		for i := 0; i < need; i++ {
+			s.addHost()
+		}
+		s.pendingHosts -= need
+		s.sampleProvisioned()
+	})
 }
 
 // finalizeIntegrals computes the integrated hour metrics for the cost

@@ -129,8 +129,15 @@ func (in *fedInjector) Fire() {
 // analytic GenConfig.Expect, not a trace scan), so the proportional-share
 // weights are uniform by construction. Worker i simulates with
 // ShardSeed(Seed, i), mirroring RunSharded; k <= 1 runs a single streaming
-// simulation of the whole config. The RunSharded approximation contract
-// (shards do not share cluster capacity) applies unchanged.
+// simulation of the whole config. Capacity semantics follow
+// cfg.ShardCapacity as in RunSharded: under LeasePool the capacity ledger
+// streams its own unsplit generator of gcfg, so capacity metrics equal
+// the unsharded streaming run's exactly (TestLeasePoolStreamCapacityExact);
+// the zero-value LegacySplit keeps the static equal split. One streaming
+// caveat: the shard generators draw per-shard seeds, so the workers'
+// union is distributionally — not samplewise — the ledger's workload,
+// and merged task counts are near-equal rather than identical
+// (docs/SHARDING.md, "Streaming").
 //
 // cfg.Trace and cfg.Source must be nil; each worker gets its shard's
 // generator as its Source. Pass cfg.LeanMetrics to keep the workers'
@@ -151,9 +158,7 @@ func RunStreamSharded(gcfg trace.GenConfig, cfg Config, shards int) (*Result, er
 	minHosts := floorShares(weights, cfg.MinHosts)
 	buffers := trace.ProportionalShares(weights, cfg.ScalingBufferHosts, 0)
 
-	results := make([]*Result, shards)
-	errs := make([]error, shards)
-	var wg sync.WaitGroup
+	wcfgs := make([]Config, shards)
 	for i := range gens {
 		wcfg := cfg
 		wcfg.Source = gens[i]
@@ -161,11 +166,29 @@ func RunStreamSharded(gcfg trace.GenConfig, cfg Config, shards int) (*Result, er
 		wcfg.MinHosts = minHosts[i]
 		wcfg.ScalingBufferHosts = buffers[i]
 		wcfg.Seed = ShardSeed(cfg.Seed, i)
+		wcfgs[i] = wcfg
+	}
+	if cfg.ShardCapacity == LeasePool {
+		// The capacity ledger replays the whole workload: give it its own
+		// unsplit stream of gcfg (same seed, same sessions the shard
+		// generators partition among themselves).
+		full, err := trace.NewStreamGen(gcfg, 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Source = full
+		return runShardedLeased(cfg, wcfgs)
+	}
+
+	results := make([]*Result, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := range wcfgs {
 		wg.Add(1)
 		go func(i int, wcfg Config) {
 			defer wg.Done()
 			results[i], errs[i] = Run(wcfg)
-		}(i, wcfg)
+		}(i, wcfgs[i])
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -213,9 +236,7 @@ func RunFederatedStreamSharded(gcfg trace.GenConfig, cfg FedConfig, shards int) 
 	}
 	fedFloors := floorShares(weights, cfg.FedMinHosts)
 
-	results := make([]*FedResult, shards)
-	errs := make([]error, shards)
-	var wg sync.WaitGroup
+	wcfgs := make([]FedConfig, shards)
 	for i := range gens {
 		wcfg := cfg
 		wcfg.Source = gens[i]
@@ -230,11 +251,26 @@ func RunFederatedStreamSharded(gcfg trace.GenConfig, cfg FedConfig, shards int) 
 		// Stateful route policies (round-robin's rotation counter) must
 		// not be shared across the parallel workers.
 		wcfg.Route = federation.FreshPolicy(cfg.Route)
+		wcfgs[i] = wcfg
+	}
+	if cfg.ShardCapacity == LeasePool {
+		full, err := trace.NewStreamGen(gcfg, 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Source = full
+		return runFederatedShardedLeased(cfg, wcfgs)
+	}
+
+	results := make([]*FedResult, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := range wcfgs {
 		wg.Add(1)
 		go func(i int, wcfg FedConfig) {
 			defer wg.Done()
 			results[i], errs[i] = RunFederated(wcfg)
-		}(i, wcfg)
+		}(i, wcfgs[i])
 	}
 	wg.Wait()
 	for _, err := range errs {
