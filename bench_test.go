@@ -258,6 +258,12 @@ func BenchmarkScenarioSweep(b *testing.B) { runExperiment(b, "scenario-sweep") }
 // priority wait-queue.
 func BenchmarkPolicyTournament(b *testing.B) { runExperiment(b, "policy-tournament") }
 
+// BenchmarkFaultSweep runs the fault-injection lab end-to-end at quick
+// scale: the built-in fault profiles (none, light, heavy, az-outage)
+// crossed with the four policies on the campus-diurnal scenario, plus a
+// federated heavy-profile block at k in {1,2,4}.
+func BenchmarkFaultSweep(b *testing.B) { runExperiment(b, "fault-sweep") }
+
 // BenchmarkScoredRouting measures one scored routing decision on the hot
 // path: snapshot every member, run the composite four-scorer sum, and
 // sort — with a reused RouteScratch the whole decision must allocate
@@ -420,6 +426,7 @@ func TestBenchCoversAllExperiments(t *testing.T) {
 		"fed-policy": true, "fed-autoscale": true, "fed-matrix": true,
 		"summer-fed": true, "stream-scale": true, "shard-drift": true,
 		"scenario-sweep": true, "policy-tournament": true,
+		"fault-sweep": true,
 	}
 	for _, e := range experiments.All() {
 		if !covered[e.ID] {

@@ -13,6 +13,8 @@
 //	nbos-sim -exp scenario-sweep        # arrival shape x policy x federation
 //	nbos-sim -scenario campus-diurnal   # one declarative scenario, all policies
 //	nbos-sim -scenario my-workload.json # ... or a JSON trace.ScenarioSpec file
+//	nbos-sim -scenario campus-diurnal -faults heavy  # ... under a chaos schedule
+//	nbos-sim -exp fault-sweep           # fault intensity x policy x federation
 //	nbos-sim -exp all [-jobs 8]
 package main
 
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"notebookos/internal/experiments"
+	"notebookos/internal/trace"
 )
 
 func main() {
@@ -37,10 +40,23 @@ func main() {
 		legacy   = flag.Bool("legacy-split", false, "with -shards N: use the legacy static capacity split instead of the shared lease pool (independent workers, documented saved-GPUh drift)")
 		stream   = flag.Bool("stream", false, "synthesize sessions lazily per shard (sim.RunStreamSharded) instead of replaying a materialized trace; identical output at -shards 1, bounded memory at any scale")
 		scenario = flag.String("scenario", "", "run one declarative workload scenario through every policy: a built-in name (see trace.BuiltinScenarios) or a JSON trace.ScenarioSpec file; honors -seed/-quick/-shards/-stream")
+		faults   = flag.String("faults", "", "with -scenario: inject a deterministic fault schedule — a built-in profile (light, heavy, az-outage) or a JSON trace.FaultSpec file; overrides the scenario's own faults block (docs/FAULTS.md)")
 	)
 	flag.Parse()
 
 	o := experiments.Options{Seed: *seed, Quick: *quick, Shards: *shards, LegacyShards: *legacy, Stream: *stream}
+	if *faults != "" {
+		if *scenario == "" {
+			fmt.Fprintln(os.Stderr, "-faults requires -scenario (fault sweeps over the figure experiments run via -exp fault-sweep)")
+			os.Exit(2)
+		}
+		f, err := trace.ResolveFaults(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faults %s: %v\n", *faults, err)
+			os.Exit(1)
+		}
+		o.Faults = &f
+	}
 	if *scenario != "" {
 		t0 := time.Now()
 		out, err := experiments.ScenarioReport(*scenario, o)

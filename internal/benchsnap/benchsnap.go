@@ -328,6 +328,39 @@ func scenarios() []scenario {
 				"scale_outs": so, "scale_ins": si,
 			}
 		}},
+		// fault-heavy-campus-lease-2shards pins the deterministic fault
+		// layer end-to-end: the heavy built-in profile (daily crashes plus
+		// a WAN degradation window) over the campus-diurnal scenario,
+		// sharded through the lease pool. failovers and restarts gate the
+		// fault stream and the repair state machine at the default 0.1%
+		// (exact-replay integers, zero expected drift); gpuh_saved gates
+		// the capacity ledger's fault replay — a sharded run's churn must
+		// be the unsharded ledger's, exactly.
+		{"fault-heavy-campus-lease-2shards", func(b *testing.B, _, _ *trace.Trace) map[string]float64 {
+			gcfg := trace.CampusDiurnalScenario().MustConfig(42)
+			gcfg.Duration = 24 * time.Hour
+			heavy, _ := trace.BuiltinFaultProfile("heavy")
+			campus := trace.MustGenerate(gcfg)
+			var res *sim.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = sim.RunSharded(sim.Config{
+					Trace: campus, Policy: sim.PolicyNotebookOS, Hosts: 30,
+					Seed: 42, ShardCapacity: sim.LeasePool, Faults: &heavy,
+				}, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			start := gcfg.Start
+			end := start.Add(gcfg.Duration)
+			saved := res.ReservedGPUHours - res.ProvisionedGPUs.Integral(start, end)
+			return map[string]float64{
+				"gpuh_saved": saved,
+				"failovers":  float64(res.Failovers),
+				"restarts":   float64(res.TaskRestarts),
+			}
+		}},
 		{"summer-fed-10d-4clusters-2shards", func(b *testing.B, _, summer *trace.Trace) map[string]float64 {
 			var res *sim.FedResult
 			for i := 0; i < b.N; i++ {

@@ -339,6 +339,34 @@ func (c *Cluster) RemoveHost(id string) error {
 	return nil
 }
 
+// CrashHost forcibly removes a host, replicas and commitments included —
+// the fault-injection path (hardware failure, outage window). detach
+// subtracts the host's subscribed and committed contributions from the
+// cluster aggregates in one step, so the counters stay consistent even
+// though the dead host still carries replica subscriptions; a later
+// RemoveReplica or Release against the detached host is harmless (its
+// aggregate hooks are membership-gated). No capacity notification fires:
+// a crash only removes capacity.
+func (c *Cluster) CrashHost(id string) error {
+	c.mu.Lock()
+	h, ok := c.hosts[id]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: host %s not present", id)
+	}
+	delete(c.hosts, id)
+	list := make([]*Host, 0, len(c.list)-1)
+	for _, lh := range c.list {
+		if lh != h {
+			list = append(list, lh)
+		}
+	}
+	c.list = list
+	c.mu.Unlock()
+	h.detach()
+	return nil
+}
+
 // Host returns a host by ID.
 func (c *Cluster) Host(id string) (*Host, bool) {
 	c.mu.Lock()

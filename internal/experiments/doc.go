@@ -8,6 +8,9 @@
 // multi-cluster scenarios the paper's single-cluster evaluation does not:
 // cluster-count and inter-cluster-penalty sweeps plus a route-policy
 // comparison over federated simulations (internal/sim.RunFederated).
+// The fault-sweep experiment crosses deterministic fault intensity
+// (trace.FaultSpec profiles) with every policy and with federation
+// sizes — the availability-vs-throughput table of docs/FAULTS.md.
 //
 // Experiments are safe to run concurrently: traces and per-policy
 // simulation results are cached behind singleflight slots, and every

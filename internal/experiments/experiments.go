@@ -49,6 +49,12 @@ type Options struct {
 	// Parameter sweeps (ablations, federation grids) keep the materialized
 	// path regardless.
 	Stream bool
+	// Faults optionally injects a deterministic fault schedule into
+	// scenario runs (cmd/nbos-sim -faults; see trace.FaultSpec and
+	// docs/FAULTS.md). It overrides a scenario JSON's own faults block.
+	// Nil leaves every run failure-free — the figure experiments and
+	// sweeps above never consult it, so their gated outputs cannot drift.
+	Faults *trace.FaultSpec
 }
 
 func (o Options) seed() int64 {
@@ -124,6 +130,7 @@ func All() []Experiment {
 		{"shard-drift", "Sharded capacity drift: legacy split vs lease pool", ShardDrift},
 		{"scenario-sweep", "Scenario lab: arrival shape x policy x federation", ScenarioSweep},
 		{"policy-tournament", "Policy lab: scorer configs x scenarios x federation k", PolicyTournament},
+		{"fault-sweep", "Fault injection: intensity x policy x federation", FaultSweep},
 	}
 }
 

@@ -178,7 +178,9 @@ func ScenarioSweep(o Options) (string, error) {
 
 // ScenarioReport runs one scenario — a built-in name or a JSON spec file —
 // through every policy at the harness's scale, shard, and stream settings.
-// It backs cmd/nbos-sim's -scenario flag.
+// It backs cmd/nbos-sim's -scenario flag. A fault schedule — the spec's
+// own faults block, or Options.Faults overriding it (-faults) — threads
+// into every simulation as sim.Config.Faults.
 func ScenarioReport(nameOrPath string, o Options) (string, error) {
 	spec, err := trace.ResolveScenario(nameOrPath)
 	if err != nil {
@@ -187,6 +189,10 @@ func ScenarioReport(nameOrPath string, o Options) (string, error) {
 	gcfg, err := scenarioConfig(o, spec)
 	if err != nil {
 		return "", err
+	}
+	faults := o.Faults
+	if faults == nil {
+		faults = spec.Faults
 	}
 	exp := gcfg.Expect(1)
 
@@ -213,17 +219,33 @@ func ScenarioReport(nameOrPath string, o Options) (string, error) {
 	}
 	b.WriteString("\n")
 
+	if faults.Enabled() {
+		fmt.Fprintf(&b, "faults: MTBF %.0fh, MTTR %.1fh, %d outages, %d degradations, retry budget %d/%d/%d (int/batch/be)\n",
+			faults.HostMTBFHours, faults.HostMTTRHours,
+			len(faults.Outages), len(faults.Degradations),
+			faults.RetryBudget(trace.SLOInteractive), faults.RetryBudget(trace.SLOBatch), faults.RetryBudget(trace.SLOBestEffort))
+	}
+
 	var tr *trace.Trace
+	var nbos *sim.Result
 	fmt.Fprintf(&b, "%-14s %10s %10s %12s %8s %8s\n",
 		"policy", "delay-p50", "delay-p99", "GPUh-saved", "sessions", "tasks")
 	for _, p := range scenarioPolicies {
-		r, err := runScenarioSim(o, gcfg, &tr, p)
+		r, err := runFaultSim(o, gcfg, &tr, p, faults)
 		if err != nil {
 			return "", err
+		}
+		if p == sim.PolicyNotebookOS {
+			nbos = r
 		}
 		fmt.Fprintf(&b, "%-14s %10s %10s %12.1f %8d %8d\n",
 			p, fmtSeconds(r.Interactivity.Percentile(50)), fmtSeconds(r.Interactivity.Percentile(99)),
 			scenarioSaved(r, gcfg), r.Sessions, r.Tasks)
+	}
+	if faults.Enabled() && nbos != nil {
+		fmt.Fprintf(&b, "fault churn (nbos): crashes=%d failovers=%d restarts=%d abandoned=%d lost GPUh=%.1f failed migrations=%d\n",
+			nbos.HostCrashes, nbos.Failovers, nbos.TaskRestarts, nbos.Abandonments,
+			nbos.LostGPUHours, nbos.FailedMigrations)
 	}
 	return b.String(), nil
 }

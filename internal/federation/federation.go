@@ -34,6 +34,12 @@ type Federation struct {
 	// fields (queue depth, retirable hosts); read without locking under the
 	// same set-before-share contract as matrix.
 	extras SnapshotExtras
+	// penaltyScale multiplies every non-zero Penalty while a
+	// network-degradation episode is active (sim fault injection). 0 (the
+	// zero value) and 1 both mean undegraded; read without locking —
+	// mutations come only from the single-threaded simulation event loop
+	// that also performs every read.
+	penaltyScale float64
 }
 
 // New returns an empty federation with the given symmetric inter-cluster
@@ -171,10 +177,23 @@ func (f *Federation) Penalty(i, j int) time.Duration {
 	if i == j {
 		return 0
 	}
+	p := f.penalty
 	if f.matrix != nil {
-		return f.matrix.Penalty(i, j)
+		p = f.matrix.Penalty(i, j)
 	}
-	return f.penalty
+	if s := f.penaltyScale; s > 0 && s != 1 {
+		p = time.Duration(float64(p) * s)
+	}
+	return p
+}
+
+// SetPenaltyScale sets the multiplier applied to every non-zero Penalty —
+// the fault layer's network-degradation choke point (trace.DegradeSpec).
+// Scale <= 0 or 1 restores the undegraded matrix. Penalty reads the scale
+// without locking, so callers must mutate it only from the goroutine that
+// also performs the reads (the simulation event loop).
+func (f *Federation) SetPenaltyScale(scale float64) {
+	f.penaltyScale = scale
 }
 
 // RoundTrip returns the cost of crossing from member i to member j and

@@ -77,6 +77,19 @@
 //     bit-for-bit too.
 //   - Saturation costs O(waiters) events: the cluster's capacity notifier
 //     (Release/AddHost) wakes the wait-queue; there are no retry polls.
+//   - Fault injection is opt-in and identity-preserving: Config.Faults
+//     (and FedConfig.Faults) replays a deterministic fault schedule —
+//     exponential host crash/recover churn, correlated outage windows,
+//     degraded-network episodes — as first-class DES events (faults.go;
+//     docs/FAULTS.md). The stream derives from (FaultSpec, Seed) alone
+//     and its RNGs are disjoint from every workload stream, so a nil or
+//     empty spec is byte-identical to the fault layer not existing
+//     (TestZeroFaultSpecIsIdentity) and the lease pool's capacity ledger
+//     replays the identical crash sequence — sharded fault metrics are
+//     exact at any shard count (TestFaultRunsDoubleRunByteIdentical).
+//     Quorum-preserving replica loss fails over without interrupting the
+//     running task; executor death or quorum loss aborts into
+//     checkpoint-restore resubmission under SLO-class retry budgets.
 //   - Traces are read-only: a *trace.Trace may be shared by any number of
 //     concurrent simulations.
 package sim

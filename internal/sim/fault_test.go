@@ -1,0 +1,570 @@
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"testing"
+	"time"
+
+	"notebookos/internal/trace"
+)
+
+// faultFingerprint extends fingerprint with the fault-injection outcomes,
+// so double-run comparisons pin the failure path bit-for-bit too.
+type faultFingerprint struct {
+	base                           fingerprint
+	crashes, recoveries, failovers int
+	restarts, abandonments         int
+	lostGPUHours                   float64
+	upHostHours                    float64
+	recoveryN                      int
+	recoveryP99                    float64
+}
+
+func faultFingerprintOf(tr *trace.Trace, r *Result) faultFingerprint {
+	f := faultFingerprint{
+		base:         fingerprintOf(tr, r),
+		crashes:      r.HostCrashes,
+		recoveries:   r.HostRecoveries,
+		failovers:    r.Failovers,
+		restarts:     r.TaskRestarts,
+		abandonments: r.Abandonments,
+		lostGPUHours: r.LostGPUHours,
+	}
+	if r.Availability != nil {
+		f.upHostHours = r.Availability.Integral(tr.Start, tr.End)
+	}
+	if r.RecoveryTime != nil {
+		f.recoveryN = r.RecoveryTime.N()
+		f.recoveryP99 = r.RecoveryTime.Percentile(99)
+	}
+	return f
+}
+
+// TestZeroFaultSpecIsIdentity pins the zero-fault contract: a nil Faults
+// pointer and an explicit empty FaultSpec produce byte-identical results
+// (no extra RNG draws, no extra events, recorders left nil) on the plain,
+// lease-pool sharded, and streaming paths, for every policy.
+func TestZeroFaultSpecIsIdentity(t *testing.T) {
+	gcfg := trace.AdobeExcerptConfig(61)
+	gcfg.Duration = 4 * time.Hour
+	tr := trace.MustGenerate(gcfg)
+
+	for _, p := range []Policy{PolicyReservation, PolicyBatch, PolicyNotebookOS, PolicyLCP} {
+		base, err := Run(Config{Trace: tr, Policy: p, Hosts: 30, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		empty, err := Run(Config{Trace: tr, Policy: p, Hosts: 30, Seed: 7, Faults: &trace.FaultSpec{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fa, fb := fingerprintOf(tr, base), fingerprintOf(tr, empty); fa != fb {
+			t.Errorf("%s: empty FaultSpec changed the run:\n  nil:   %+v\n  empty: %+v", p, fa, fb)
+		}
+		for name, r := range map[string]*Result{"nil": base, "empty": empty} {
+			if r.Availability != nil || r.RecoveryTime != nil {
+				t.Errorf("%s/%s: fault recorders must stay nil without faults", p, name)
+			}
+			if r.HostCrashes != 0 || r.Failovers != 0 || r.TaskRestarts != 0 || r.Abandonments != 0 {
+				t.Errorf("%s/%s: fault counters must stay zero without faults", p, name)
+			}
+		}
+	}
+
+	// Lease-pool sharded path: the ledger replays the parent config, so the
+	// identity must hold through the barrier protocol too.
+	cfg := Config{Trace: tr, Policy: PolicyNotebookOS, Hosts: 30, Seed: 7, ShardCapacity: LeasePool}
+	a, err := RunSharded(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = &trace.FaultSpec{}
+	b, err := RunSharded(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa, fb := fingerprintOf(tr, a), fingerprintOf(tr, b); fa != fb {
+		t.Errorf("lease k=2: empty FaultSpec changed the run:\n  nil:   %+v\n  empty: %+v", fa, fb)
+	}
+	if b.Availability != nil || b.RecoveryTime != nil {
+		t.Error("lease k=2: fault recorders must stay nil without faults")
+	}
+
+	// Streaming path.
+	genA, err := trace.NewStreamGen(gcfg, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genB, err := trace.NewStreamGen(gcfg, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := Run(Config{Source: genA, Policy: PolicyNotebookOS, Hosts: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Run(Config{Source: genB, Policy: PolicyNotebookOS, Hosts: 30, Seed: 7, Faults: &trace.FaultSpec{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa, fb := fingerprintOf(tr, sa), fingerprintOf(tr, sb); fa != fb {
+		t.Errorf("streaming: empty FaultSpec changed the run:\n  nil:   %+v\n  empty: %+v", fa, fb)
+	}
+}
+
+// TestFaultRunsDoubleRunByteIdentical pins fault-stream determinism: two
+// runs of the same config under a heavy fault profile are byte-identical —
+// fault counters included — on the plain, lease-pool sharded, and
+// streaming sharded paths.
+func TestFaultRunsDoubleRunByteIdentical(t *testing.T) {
+	gcfg := trace.AdobeExcerptConfig(62)
+	gcfg.Duration = 8 * time.Hour
+	tr := trace.MustGenerate(gcfg)
+	faults := trace.HeavyFaultProfile()
+	faults.HostMTBFHours = 8 // churn hard enough to exercise every repair path
+
+	cfg := Config{Trace: tr, Policy: PolicyNotebookOS, Hosts: 30, Seed: 7, Faults: &faults}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := faultFingerprintOf(tr, a), faultFingerprintOf(tr, b)
+	if fa != fb {
+		t.Errorf("plain double run diverged:\n  run1: %+v\n  run2: %+v", fa, fb)
+	}
+	if a.HostCrashes == 0 || a.TaskRestarts == 0 {
+		t.Errorf("heavy profile must exercise the fault path, got crashes=%d restarts=%d",
+			a.HostCrashes, a.TaskRestarts)
+	}
+	if a.Availability == nil || a.RecoveryTime == nil {
+		t.Fatal("fault recorders must be live under faults")
+	}
+
+	lcfg := cfg
+	lcfg.ShardCapacity = LeasePool
+	la, err := RunSharded(lcfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := RunSharded(lcfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fla, flb := faultFingerprintOf(tr, la), faultFingerprintOf(tr, lb); fla != flb {
+		t.Errorf("lease k=3 double run diverged:\n  run1: %+v\n  run2: %+v", fla, flb)
+	}
+	// The lease pool's capacity ledger replays the parent config unsharded,
+	// so its fault stream — and every capacity metric derived from it — is
+	// exactly the plain run's.
+	if la.HostCrashes != a.HostCrashes || la.Failovers != a.Failovers ||
+		la.TaskRestarts != a.TaskRestarts || la.Abandonments != a.Abandonments {
+		t.Errorf("lease ledger fault counters diverged from unsharded: sharded %d/%d/%d/%d, plain %d/%d/%d/%d",
+			la.HostCrashes, la.Failovers, la.TaskRestarts, la.Abandonments,
+			a.HostCrashes, a.Failovers, a.TaskRestarts, a.Abandonments)
+	}
+	if got, want := la.Availability.Integral(tr.Start, tr.End), a.Availability.Integral(tr.Start, tr.End); got != want {
+		t.Errorf("lease ledger availability integral diverged: sharded %v, plain %v", got, want)
+	}
+
+	scfg := Config{Policy: PolicyNotebookOS, Hosts: 30, LeanMetrics: true, Seed: 7, Faults: &faults}
+	sa, err := RunStreamSharded(gcfg, scfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := RunStreamSharded(gcfg, scfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsa, fsb := faultFingerprintOf(tr, sa), faultFingerprintOf(tr, sb); fsa != fsb {
+		t.Errorf("stream k=2 double run diverged:\n  run1: %+v\n  run2: %+v", fsa, fsb)
+	}
+}
+
+// TestFederatedFaultsDoubleRunByteIdentical is the federated twin,
+// additionally exercising member-scoped outages and the penalty-scale
+// degradation path.
+func TestFederatedFaultsDoubleRunByteIdentical(t *testing.T) {
+	gcfg := trace.AdobeExcerptConfig(63)
+	gcfg.Duration = 8 * time.Hour
+	tr := trace.MustGenerate(gcfg)
+	faults := trace.FaultSpec{
+		HostMTBFHours: 12,
+		HostMTTRHours: 0.5,
+		Outages:       []trace.OutageSpec{{StartHour: 3, DurationHours: 1, HostFraction: 0.5, Cluster: "c0"}},
+		Degradations:  []trace.DegradeSpec{{StartHour: 2, DurationHours: 2, Factor: 6}},
+	}
+	cfg := FedConfig{Trace: tr, Clusters: DefaultFedClusters(3, 30), Seed: 7, Faults: &faults}
+	a, err := RunFederated(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFederated(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HostCrashes != b.HostCrashes || a.Failovers != b.Failovers ||
+		a.TaskRestarts != b.TaskRestarts || a.Abandonments != b.Abandonments ||
+		a.LostGPUHours != b.LostGPUHours || a.Tasks != b.Tasks ||
+		a.TCT.Percentile(99) != b.TCT.Percentile(99) ||
+		a.Availability.Integral(tr.Start, tr.End) != b.Availability.Integral(tr.Start, tr.End) {
+		t.Errorf("federated double run diverged:\n  run1: crashes=%d failovers=%d restarts=%d\n  run2: crashes=%d failovers=%d restarts=%d",
+			a.HostCrashes, a.Failovers, a.TaskRestarts, b.HostCrashes, b.Failovers, b.TaskRestarts)
+	}
+	if a.HostCrashes == 0 {
+		t.Error("federated heavy profile must crash hosts")
+	}
+
+	// Zero-fault identity for the federated runner.
+	base, err := RunFederated(FedConfig{Trace: tr, Clusters: DefaultFedClusters(3, 30), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := RunFederated(FedConfig{Trace: tr, Clusters: DefaultFedClusters(3, 30), Seed: 7, Faults: &trace.FaultSpec{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Tasks != empty.Tasks || base.TCT.Percentile(99) != empty.TCT.Percentile(99) ||
+		base.ProvisionedGPUHours != empty.ProvisionedGPUHours ||
+		base.Migrations != empty.Migrations || base.ScaleOuts != empty.ScaleOuts {
+		t.Error("federated: empty FaultSpec changed the run")
+	}
+	if empty.Availability != nil || empty.RecoveryTime != nil {
+		t.Error("federated: fault recorders must stay nil without faults")
+	}
+}
+
+// probeRunningNbosSession steps the simulation forward until some session
+// has an in-flight nbosTask, returning the session and its machine.
+func probeRunningNbosSession(t *testing.T, s *sim) (*simSession, *nbosTask) {
+	t.Helper()
+	for at := 10 * time.Minute; at < s.end.Sub(s.start); at += 10 * time.Minute {
+		s.eng.RunUntil(s.start.Add(at))
+		for _, ss := range s.faultSessions {
+			if nt, ok := ss.cur.(*nbosTask); ok && !nt.dead {
+				return ss, nt
+			}
+		}
+	}
+	t.Fatal("no session with an in-flight nbosTask found")
+	return nil, nil
+}
+
+// TestReplicaCrashFailsOverWithoutRestart pins the acceptance criterion:
+// killing one replica of a 3-replica session whose task is mid-execution
+// fails the session over (one election charge) WITHOUT restarting the
+// task.
+func TestReplicaCrashFailsOverWithoutRestart(t *testing.T) {
+	gcfg := trace.AdobeExcerptConfig(64)
+	gcfg.Duration = 4 * time.Hour
+	tr := trace.MustGenerate(gcfg)
+	// Enabled spec with astronomically rare natural crashes: the only crash
+	// in this run is the one the test injects.
+	faults := trace.FaultSpec{HostMTBFHours: 1e9, HostMTTRHours: 1}
+	s, err := newSim(Config{Trace: tr, Policy: PolicyNotebookOS, Hosts: 30, Seed: 7, Faults: &faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+
+	ss, nt := probeRunningNbosSession(t, s)
+	var victim *simHost
+	for _, sh := range s.hostList {
+		if sh.h == nt.h {
+			continue // never the executor
+		}
+		if hostsContain(ss.hosts, sh.h) {
+			victim = sh
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("session has no non-executor replica host")
+	}
+	before := *s.res
+	s.crashHost(victim, time.Hour)
+	if s.res.Failovers != before.Failovers+1 {
+		t.Errorf("non-executor replica crash must fail over once, got %d -> %d", before.Failovers, s.res.Failovers)
+	}
+	if s.res.TaskRestarts != before.TaskRestarts {
+		t.Errorf("quorum-preserving failover must NOT restart the task, restarts %d -> %d",
+			before.TaskRestarts, s.res.TaskRestarts)
+	}
+	if nt.dead {
+		t.Error("the in-flight task must survive a quorum-preserving failover")
+	}
+	for i, h := range ss.hosts {
+		if h == nil {
+			t.Errorf("replica slot %d not rehomed after failover", i)
+		}
+		if h == victim.h {
+			t.Errorf("replica slot %d still points at the crashed host", i)
+		}
+	}
+	// The run must still complete and stay internally consistent.
+	s.eng.RunUntil(s.end.Add(24 * time.Hour))
+	res, err := s.finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HostCrashes != 1 || res.HostRecoveries != 1 {
+		t.Errorf("expected exactly the injected crash/recovery, got %d/%d", res.HostCrashes, res.HostRecoveries)
+	}
+}
+
+// TestExecutorCrashRestartsTask: crashing the host the task is executing
+// on aborts it through the checkpoint-restore path, and the task still
+// completes after the retry.
+func TestExecutorCrashRestartsTask(t *testing.T) {
+	gcfg := trace.AdobeExcerptConfig(65)
+	gcfg.Duration = 4 * time.Hour
+	tr := trace.MustGenerate(gcfg)
+	faults := trace.FaultSpec{HostMTBFHours: 1e9, HostMTTRHours: 1}
+	s, err := newSim(Config{Trace: tr, Policy: PolicyNotebookOS, Hosts: 30, Seed: 7, Faults: &faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+
+	_, nt := probeRunningNbosSession(t, s)
+	var victim *simHost
+	for _, sh := range s.hostList {
+		if sh.h == nt.h {
+			victim = sh
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("executor host not in host list")
+	}
+	s.crashHost(victim, time.Hour)
+	if !nt.dead {
+		t.Fatal("executor crash must abort the in-flight task")
+	}
+	if s.res.TaskRestarts != 1 {
+		t.Errorf("executor crash must restart the task once, got %d", s.res.TaskRestarts)
+	}
+	s.eng.RunUntil(s.end.Add(24 * time.Hour))
+	res, err := s.finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Abandonments != 0 {
+		t.Errorf("one restart is within every retry budget, got %d abandonments", res.Abandonments)
+	}
+	if res.LostGPUHours <= 0 && nt.phase >= 1 {
+		t.Error("an aborted mid-training execution must record lost GPU-hours")
+	}
+}
+
+// TestQuorumLossRestartsTask: a session already down one replica that
+// loses a second (non-executor) replica loses raft quorum — the task
+// aborts through the checkpoint-restore path with no failover credit.
+func TestQuorumLossRestartsTask(t *testing.T) {
+	gcfg := trace.AdobeExcerptConfig(66)
+	gcfg.Duration = 4 * time.Hour
+	tr := trace.MustGenerate(gcfg)
+	faults := trace.FaultSpec{HostMTBFHours: 1e9, HostMTTRHours: 1}
+	s, err := newSim(Config{Trace: tr, Policy: PolicyNotebookOS, Hosts: 30, Seed: 7, Faults: &faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+
+	ss, nt := probeRunningNbosSession(t, s)
+	// Knock out one non-executor replica by hand (an unrehomed loss), then
+	// crash a second: 1 alive of 3 is below quorum.
+	downed := false
+	var victim *simHost
+	for i, h := range ss.hosts {
+		if h == nt.h || h == nil {
+			continue
+		}
+		if !downed {
+			_ = h.RemoveReplica(ss.replicaKeyFor(i + 1))
+			ss.hosts[i] = nil
+			downed = true
+			continue
+		}
+		for _, sh := range s.hostList {
+			if sh.h == h {
+				victim = sh
+				break
+			}
+		}
+		break
+	}
+	if !downed || victim == nil {
+		t.Fatal("could not set up the two-replica loss")
+	}
+	before := s.res.Failovers
+	s.crashHost(victim, time.Hour)
+	if !nt.dead {
+		t.Fatal("quorum loss must abort the in-flight task")
+	}
+	if s.res.TaskRestarts != 1 {
+		t.Errorf("quorum loss must restart the task, got %d restarts", s.res.TaskRestarts)
+	}
+	if s.res.Failovers != before {
+		t.Errorf("quorum loss is not a failover, got %d -> %d", before, s.res.Failovers)
+	}
+}
+
+// TestRetryBudgetAbandonsBySLOClass pins the SLO-aware retry budget:
+// interactive work abandons after 1 restart (MaxRetries/3 floored at 1),
+// batch after MaxRetries, and every abandonment is counted.
+func TestRetryBudgetAbandonsBySLOClass(t *testing.T) {
+	gcfg := trace.AdobeExcerptConfig(67)
+	gcfg.Duration = 2 * time.Hour
+	tr := trace.MustGenerate(gcfg)
+	faults := trace.FaultSpec{HostMTBFHours: 1e9, HostMTTRHours: 1, MaxRetries: 3}
+	s, err := newSim(Config{Trace: tr, Policy: PolicyNotebookOS, Hosts: 30, Seed: 7, Faults: &faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	s.eng.RunUntil(s.start.Add(time.Minute))
+
+	task := trace.Task{Submit: s.now(), Duration: time.Hour, GPUs: 1}
+	inter := &simSession{src: &trace.Session{ID: "probe-i", SLO: trace.SLOInteractive}, running: true}
+	s.restartTask(inter, task, s.now())
+	if s.res.TaskRestarts != 1 || s.res.Abandonments != 0 {
+		t.Fatalf("first interactive restart must be granted: restarts=%d abandoned=%d",
+			s.res.TaskRestarts, s.res.Abandonments)
+	}
+	s.restartTask(inter, task, s.now())
+	if s.res.Abandonments != 1 {
+		t.Errorf("interactive budget is 1 (MaxRetries/3 floored): second restart must abandon, got %d",
+			s.res.Abandonments)
+	}
+	if inter.running {
+		t.Error("abandonment with an empty queue must leave the session idle")
+	}
+
+	batch := &simSession{src: &trace.Session{ID: "probe-b", SLO: trace.SLOBatch}, running: true}
+	for i := 0; i < 3; i++ {
+		s.restartTask(batch, task, s.now())
+	}
+	if s.res.Abandonments != 1 {
+		t.Errorf("batch budget is 3: three restarts must all be granted, abandoned=%d", s.res.Abandonments)
+	}
+	s.restartTask(batch, task, s.now())
+	if s.res.Abandonments != 2 {
+		t.Errorf("fourth batch restart must abandon, got %d", s.res.Abandonments)
+	}
+	// Backoff doubles per attempt on top of the checkpoint-restore charge:
+	// 30+15, then 30+30, 30+60 for the batch session's three attempts.
+	want := []float64{45, 45, 60, 90}
+	got := s.res.RecoveryTime.Values()
+	if len(got) != len(want) {
+		t.Fatalf("expected %d recovery charges, got %v", len(want), got)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("recovery charge %d: want %vs, got %vs", i, want[i], got[i])
+		}
+	}
+}
+
+// renewalEvent is one crash or recovery in the reference replay of
+// TestAvailabilityIntegralMatchesRenewalChain.
+type renewalEvent struct {
+	at    time.Time
+	delta int
+	down  time.Duration
+}
+
+type renewalHeap []renewalEvent
+
+func (h renewalHeap) Len() int            { return len(h) }
+func (h renewalHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
+func (h renewalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *renewalHeap) Push(x interface{}) { *h = append(*h, x.(renewalEvent)) }
+func (h *renewalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TestAvailabilityIntegralMatchesRenewalChain is the availability-timeline
+// property test: under the Batch policy the host count changes ONLY
+// through fault churn (no autoscaler, no per-session provisioning), so
+// the Availability integral must exactly equal the up-host-hours of the
+// host slots' alternating renewal chain, replayed independently here from
+// trace.HostFault alone.
+func TestAvailabilityIntegralMatchesRenewalChain(t *testing.T) {
+	gcfg := trace.AdobeExcerptConfig(68)
+	gcfg.Duration = 12 * time.Hour
+	tr := trace.MustGenerate(gcfg)
+	faults := trace.FaultSpec{HostMTBFHours: 6, HostMTTRHours: 0.75}
+	const hosts = 30
+	const seed = 7
+	res, err := Run(Config{Trace: tr, Policy: PolicyBatch, Hosts: hosts, Seed: seed, Faults: &faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HostCrashes < 10 {
+		t.Fatalf("want a busy renewal chain, got %d crashes", res.HostCrashes)
+	}
+
+	// Reference replay: slot k's clock starts when the slot joins; a crash
+	// at t with downtime d recovers at t+d into a fresh slot (the next
+	// sequence number, assigned in recovery-time order — the order the
+	// simulator's addHost calls fire).
+	var h renewalHeap
+	slot := 0
+	arm := func(at time.Time) {
+		slot++
+		if up, down := faults.HostFault(seed, uint64(slot)); up > 0 {
+			heap.Push(&h, renewalEvent{at: at.Add(up), delta: -1, down: down})
+		}
+	}
+	for i := 0; i < hosts; i++ {
+		arm(tr.Start)
+	}
+	// The simulator drains events until end+24h (Run's drain window), so
+	// the chain replays to the same stopping point; the integral clamps
+	// contributions at the window end like Timeline.Integral does.
+	stop := tr.End.Add(24 * time.Hour)
+	clamp := func(at time.Time) time.Time {
+		if at.After(tr.End) {
+			return tr.End
+		}
+		return at
+	}
+	live := float64(hosts)
+	integral := 0.0
+	last := tr.Start
+	crashes := 0
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(renewalEvent)
+		if ev.at.After(stop) {
+			break
+		}
+		integral += live * clamp(ev.at).Sub(clamp(last)).Hours()
+		last = ev.at
+		live += float64(ev.delta)
+		if ev.delta < 0 {
+			crashes++
+			heap.Push(&h, renewalEvent{at: ev.at.Add(ev.down), delta: +1})
+		} else {
+			arm(ev.at)
+		}
+	}
+	integral += live * tr.End.Sub(clamp(last)).Hours()
+
+	got := res.Availability.Integral(tr.Start, tr.End)
+	if math.Abs(got-integral) > 1e-6*integral {
+		t.Errorf("availability integral diverged from renewal replay: sim %.6f, replay %.6f up-host-hours",
+			got, integral)
+	}
+	if res.HostCrashes != crashes {
+		t.Errorf("crash count diverged from renewal replay: sim %d, replay %d", res.HostCrashes, crashes)
+	}
+}

@@ -179,6 +179,12 @@ type FedConfig struct {
 	// (default AutoscaleInterval). Only meaningful with
 	// ShardCapacity == LeasePool.
 	LeaseEpoch time.Duration
+	// Faults declares the deterministic fault model (see Config.Faults):
+	// per-host crash/recover churn, outage windows — scopable to one
+	// member by name — and network-degradation episodes that scale every
+	// inter-cluster penalty for their window. Nil or empty means a
+	// failure-free world and leaves the run byte-identical.
+	Faults *trace.FaultSpec
 
 	// leaseManaged marks a sharded worker federation whose capacity is
 	// governed by a lease pool at epoch barriers: the worker's own
@@ -196,6 +202,9 @@ func (c *FedConfig) withDefaults() error {
 	}
 	if c.LeanMetrics && c.LeanSampleCap <= 0 {
 		c.LeanSampleCap = 4096
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	if len(c.Clusters) == 0 {
 		c.Clusters = DefaultFedClusters(2, 30)
@@ -344,6 +353,22 @@ type FedResult struct {
 	ActiveGPUHours      float64
 	ProvisionedGPUHours float64
 	ReservedGPUHours    float64
+
+	// Fault-injection outcomes (see Result's matching block and
+	// docs/FAULTS.md). All zero — and the two recorders nil — unless
+	// FedConfig.Faults is enabled.
+	HostCrashes    int
+	HostRecoveries int
+	Failovers      int
+	TaskRestarts   int
+	Abandonments   int
+	LostGPUHours   float64
+	// Availability tracks the federation-wide live host count as a delta
+	// timeline; its integral over any window is the fleet's up-host-hours.
+	Availability *metrics.Timeline
+	// RecoveryTime samples every recovery charge paid: failover elections
+	// and checkpoint-restore restart penalties, in seconds.
+	RecoveryTime *metrics.Sample
 }
 
 // GPUHoursSaved returns the headline federation saving: reserved GPU-hours
@@ -397,6 +422,11 @@ type fedSession struct {
 	queue        []trace.Task
 	running      bool
 	closed       bool
+	// cur is the in-flight task state machine (nil between tasks), the
+	// handle the fault layer aborts through; restarts counts the current
+	// task's checkpoint-restore resubmissions against its retry budget.
+	cur      runningTask
+	restarts int
 }
 
 func (ss *fedSession) replicaKeyFor(i int) string {
@@ -438,6 +468,12 @@ type fedSim struct {
 	// event order.
 	qdepth []int
 	res    *FedResult
+
+	// Fault-injection state (see faults.go), live only when cfg.Faults is
+	// enabled; mirrors sim's matching fields.
+	faultsOn      bool
+	frng          *rand.Rand
+	faultSessions []*fedSession
 
 	// Streaming state (see Config.Source and sim's matching fields).
 	start, end time.Time
@@ -521,6 +557,10 @@ func newFedSim(cfg FedConfig) (*fedSim, error) {
 			s.res.ClassDelay[cl] = newSample()
 		}
 	}
+	// Fault injection arms before the member clusters build so every host
+	// slot — including each member's initial Hosts — carries a crash
+	// clock, and the availability timeline sees every membership change.
+	s.initFaults()
 	for i, spec := range cfg.Clusters {
 		c := cluster.New(cfg.ReplicasPerKernel)
 		if _, err := s.fed.AddMember(spec.Name, c); err != nil {
@@ -661,6 +701,9 @@ func (s *fedSim) addHost(member int) *fedHost {
 	fh := &fedHost{h: h, member: member, warm: s.cfg.PrewarmPerHost}
 	m.hosts = append(m.hosts, fh)
 	s.byHost[h] = fh
+	if s.faultsOn {
+		s.armHostFaults(fh, m.hostSeq)
+	}
 	return fh
 }
 
@@ -692,6 +735,9 @@ func (s *fedSim) placeSession(ss *fedSession) bool {
 }
 
 func (s *fedSim) sessionStart(ss *fedSession) {
+	if s.faultsOn {
+		s.faultSessions = append(s.faultSessions, ss)
+	}
 	s.res.ActiveSessions.Delta(s.now(), 1)
 	s.reserved.bump(s.now().UnixNano(), float64(ss.req.GPUs))
 	if s.placeSession(ss) {
@@ -715,9 +761,20 @@ func (s *fedSim) sessionEnd(ss *fedSession) {
 		return
 	}
 	ss.closed = true
+	if s.faultsOn {
+		for i, live := range s.faultSessions {
+			if live == ss {
+				s.faultSessions = append(s.faultSessions[:i], s.faultSessions[i+1:]...)
+				break
+			}
+		}
+	}
 	s.res.ActiveSessions.Delta(s.now(), -1)
 	s.reserved.bump(s.now().UnixNano(), -float64(ss.req.GPUs))
 	for i, fh := range ss.hosts {
+		if fh == nil {
+			continue // crash-emptied slot (faults.go)
+		}
 		_ = fh.h.RemoveReplica(ss.replicaKeyFor(i + 1))
 	}
 }
@@ -764,6 +821,8 @@ func (s *fedSim) finishTask(ss *fedSession, submit time.Time, interactivity time
 	}
 	s.res.Tasks++
 	ss.running = false
+	ss.cur = nil
+	ss.restarts = 0
 	if len(ss.queue) > 0 {
 		next := ss.queue[0]
 		ss.queue = ss.queue[1:]
@@ -788,12 +847,13 @@ func (s *fedSim) tryTask(ss *fedSession, task trace.Task, submit time.Time) bool
 
 	executor := 0
 	if ss.lastExecutor > 0 && ss.lastExecutor <= len(ss.hosts) &&
+		ss.hosts[ss.lastExecutor-1] != nil &&
 		ss.hosts[ss.lastExecutor-1].h.CanCommit(req) {
 		executor = ss.lastExecutor
 	}
 	if executor == 0 {
 		for i, fh := range ss.hosts {
-			if fh.h.CanCommit(req) {
+			if fh != nil && fh.h.CanCommit(req) {
 				executor = i + 1
 				break
 			}
@@ -833,8 +893,9 @@ func (s *fedSim) tryTask(ss *fedSession, task trace.Task, submit time.Time) bool
 
 	// The pipeline runs as a fedTask state machine: one allocation per
 	// task, re-scheduled phase after phase through pooled Runner events.
-	s.eng.ScheduleRunner(submit.Add(delay),
-		&fedTask{s: s, ss: ss, task: task, submit: submit, fh: fh, delay: delay})
+	ft := &fedTask{s: s, ss: ss, task: task, submit: submit, fh: fh, delay: delay}
+	ss.cur = ft
+	s.eng.ScheduleRunner(submit.Add(delay), ft)
 	return true
 }
 
@@ -877,17 +938,22 @@ func (s *fedSim) tryFedMigrate(ss *fedSession, task trace.Task, submit time.Time
 		return false
 	}
 
-	// Victim: the replica on the fullest host.
+	// Victim: a crash-emptied slot (faults.go) is refilled first;
+	// otherwise the replica on the fullest host.
 	victim := 0
 	worst := math.MaxInt
 	for i, fh := range ss.hosts {
+		if fh == nil {
+			victim = i
+			break
+		}
 		if idle := fh.h.IdleGPUs(); idle < worst {
 			worst = idle
 			victim = i
 		}
 	}
 	old := ss.hosts[victim]
-	cross := old.member != target.member
+	cross := old != nil && old.member != target.member
 
 	var extra time.Duration
 	if target.warm > 0 {
@@ -910,7 +976,9 @@ func (s *fedSim) tryFedMigrate(ss *fedSession, task trace.Task, submit time.Time
 	}
 
 	key := ss.replicaKeyFor(victim + 1)
-	_ = old.h.RemoveReplica(key)
+	if old != nil {
+		_ = old.h.RemoveReplica(key)
+	}
 	_ = target.h.PlaceReplica(key, ss.req)
 	ss.hosts[victim] = target
 	ss.lastExecutor = victim + 1
@@ -1076,6 +1144,7 @@ func (s *fedSim) removeHostIfEmpty(m *fedMember, i int) bool {
 	}
 	m.hosts = append(m.hosts[:i], m.hosts[i+1:]...)
 	delete(s.byHost, fh.h)
+	s.noteHosts(-1)
 	return true
 }
 

@@ -477,6 +477,7 @@ func (s *sim) detachEmptyHosts(n int) int {
 		if sh.h.NumReplicas() == 0 && sh.h.Committed().IsZero() {
 			if err := s.cluster.RemoveHost(sh.h.ID); err == nil {
 				s.hostList = append(s.hostList[:i], s.hostList[i+1:]...)
+				s.noteHosts(-1)
 				removed++
 				continue
 			}

@@ -206,8 +206,46 @@ func MergeResults(results ...*Result) *Result {
 		out.StandbyReplicaHours += r.StandbyReplicaHours
 		out.ReservedGPUHours += r.ReservedGPUHours
 		out.ServerHours += r.ServerHours
+		out.HostCrashes += r.HostCrashes
+		out.HostRecoveries += r.HostRecoveries
+		out.Failovers += r.Failovers
+		out.TaskRestarts += r.TaskRestarts
+		out.Abandonments += r.Abandonments
+		out.LostGPUHours += r.LostGPUHours
 	}
+	out.Availability = mergeFaultTimelines(results, func(r *Result) *metrics.Timeline { return r.Availability })
+	out.RecoveryTime = mergeFaultSamples(results, func(r *Result) *metrics.Sample { return r.RecoveryTime })
 	return out
+}
+
+// mergeFaultTimelines merges the shards' fault recorders while preserving
+// the zero-fault contract: when no shard recorded one (faults disabled)
+// the merged field stays nil, exactly like an unsharded run's.
+func mergeFaultTimelines(results []*Result, get func(*Result) *metrics.Timeline) *metrics.Timeline {
+	ins := make([]*metrics.Timeline, 0, len(results))
+	for _, r := range results {
+		if tl := get(r); tl != nil {
+			ins = append(ins, tl)
+		}
+	}
+	if len(ins) == 0 {
+		return nil
+	}
+	return metrics.MergeTimelines(ins...)
+}
+
+// mergeFaultSamples is mergeFaultTimelines for sample recorders.
+func mergeFaultSamples(results []*Result, get func(*Result) *metrics.Sample) *metrics.Sample {
+	ins := make([]*metrics.Sample, 0, len(results))
+	for _, r := range results {
+		if sm := get(r); sm != nil {
+			ins = append(ins, sm)
+		}
+	}
+	if len(ins) == 0 {
+		return nil
+	}
+	return metrics.MergeSamples(ins...)
 }
 
 // mergeSamples k-way merges one sample per result via metrics.MergeSamples
@@ -441,6 +479,34 @@ func MergeFedResults(results ...*FedResult) *FedResult {
 		out.ActiveGPUHours += r.ActiveGPUHours
 		out.ProvisionedGPUHours += r.ProvisionedGPUHours
 		out.ReservedGPUHours += r.ReservedGPUHours
+		out.HostCrashes += r.HostCrashes
+		out.HostRecoveries += r.HostRecoveries
+		out.Failovers += r.Failovers
+		out.TaskRestarts += r.TaskRestarts
+		out.Abandonments += r.Abandonments
+		out.LostGPUHours += r.LostGPUHours
+	}
+	{
+		ins := make([]*metrics.Timeline, 0, len(results))
+		for _, r := range results {
+			if r.Availability != nil {
+				ins = append(ins, r.Availability)
+			}
+		}
+		if len(ins) > 0 {
+			out.Availability = metrics.MergeTimelines(ins...)
+		}
+	}
+	{
+		ins := make([]*metrics.Sample, 0, len(results))
+		for _, r := range results {
+			if r.RecoveryTime != nil {
+				ins = append(ins, r.RecoveryTime)
+			}
+		}
+		if len(ins) > 0 {
+			out.RecoveryTime = metrics.MergeSamples(ins...)
+		}
 	}
 	return out
 }

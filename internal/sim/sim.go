@@ -118,6 +118,12 @@ type Config struct {
 	// unsharded autoscaler's cadence). Only meaningful with
 	// ShardCapacity == LeasePool.
 	LeaseEpoch time.Duration
+	// Faults declares the deterministic fault model: per-host exponential
+	// crash/recover churn, scheduled outage windows, and (in federated
+	// runs) network-degradation episodes. Nil or empty means a
+	// failure-free world and leaves the run byte-identical to builds
+	// without fault injection; see trace.FaultSpec and docs/FAULTS.md.
+	Faults *trace.FaultSpec
 
 	// leaseManaged marks a sharded worker whose capacity is governed by a
 	// lease pool at epoch barriers: the worker's own autoscale ticks are
@@ -135,6 +141,9 @@ func (c *Config) withDefaults() error {
 	}
 	if c.LeanMetrics && c.LeanSampleCap <= 0 {
 		c.LeanSampleCap = 4096
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	if c.Policy == "" {
 		c.Policy = PolicyNotebookOS
@@ -231,6 +240,27 @@ type Result struct {
 	StandbyReplicaHours float64
 	ReservedGPUHours    float64
 	ServerHours         float64
+
+	// Fault-injection outcomes (docs/FAULTS.md). All zero — and the two
+	// recorders nil — unless Config.Faults is enabled. HostCrashes and
+	// HostRecoveries count crash/repair events; Failovers counts quorum-
+	// preserving replica losses absorbed at one election cost;
+	// TaskRestarts counts checkpoint-restore resubmissions after quorum
+	// or executor loss; Abandonments counts tasks whose SLO-class retry
+	// budget ran out (counted, never silently dropped); LostGPUHours
+	// integrates GPU time thrown away by aborted executions.
+	HostCrashes    int
+	HostRecoveries int
+	Failovers      int
+	TaskRestarts   int
+	Abandonments   int
+	LostGPUHours   float64
+	// Availability tracks the live host count as a delta timeline — its
+	// integral over any window is exactly the fleet's up-host-hours.
+	Availability *metrics.Timeline
+	// RecoveryTime samples every recovery charge paid: failover election
+	// rounds and checkpoint-restore restart penalties, in seconds.
+	RecoveryTime *metrics.Sample
 }
 
 // simSession is the per-session simulation state.
@@ -257,6 +287,11 @@ type simSession struct {
 	queue        []trace.Task
 	running      bool
 	closed       bool
+	// cur is the in-flight task state machine (nil between tasks), the
+	// handle the fault layer aborts through; restarts counts the current
+	// task's checkpoint-restore resubmissions against its retry budget.
+	cur      runningTask
+	restarts int
 }
 
 // replicaKeyFor returns the cached key for replica i (1-based).
@@ -315,6 +350,15 @@ type sim struct {
 	// waitq parks tasks blocked on cluster capacity; it is woken by the
 	// cluster's Release/AddHost notifications.
 	waitq *capacityWaitQueue
+
+	// Fault-injection state (see faults.go), live only when cfg.Faults is
+	// enabled: frng feeds the crash-path draws (elections, container
+	// starts during repair) so fault handling never perturbs the
+	// scheduling RNG; faultSessions tracks live sessions in arrival order
+	// for crash repair.
+	faultsOn      bool
+	frng          *rand.Rand
+	faultSessions []*simSession
 
 	// Lease-pool bookkeeping, maintained only when cfg.leaseManaged: the
 	// live NotebookOS sessions in arrival order (so barrier-time replica
@@ -460,6 +504,10 @@ func newSim(cfg Config) (*sim, error) {
 		s.res.StepLatency[st] = newSample()
 	}
 	s.cluster.SetCapacityNotifier(s.waitq.Notify)
+	// Fault injection arms before the initial hosts join so every host
+	// slot — including the first Hosts — carries a crash clock, and the
+	// availability timeline sees every membership change (faults.go).
+	s.initFaults()
 
 	// Pre-size the metric columns from the source's expectation: delta
 	// series record two points per task (or session), sampled series one
@@ -567,6 +615,9 @@ func (s *sim) addHost() *simHost {
 	}
 	sh := &simHost{h: h, warm: s.cfg.PrewarmPerHost}
 	s.hostList = append(s.hostList, sh)
+	if s.faultsOn {
+		s.armHostFaults(sh)
+	}
 	return sh
 }
 
@@ -581,6 +632,9 @@ func (s *sim) recordEvent(kind scheduler.EventKind) {
 
 func (s *sim) sessionStart(ss *simSession) {
 	s.res.Sessions++
+	if s.faultsOn {
+		s.faultSessions = append(s.faultSessions, ss)
+	}
 	s.res.ActiveSessions.Delta(s.now(), 1)
 	s.reserved.bump(s.now().UnixNano(), float64(ss.req.GPUs))
 	switch s.cfg.Policy {
@@ -634,15 +688,26 @@ func (s *sim) sessionEnd(ss *simSession) {
 		return
 	}
 	ss.closed = true
+	if s.faultsOn {
+		for i, live := range s.faultSessions {
+			if live == ss {
+				s.faultSessions = append(s.faultSessions[:i], s.faultSessions[i+1:]...)
+				break
+			}
+		}
+	}
 	s.res.ActiveSessions.Delta(s.now(), -1)
 	s.reserved.bump(s.now().UnixNano(), -float64(ss.req.GPUs))
 	switch s.cfg.Policy {
 	case PolicyReservation:
-		if len(ss.hosts) > 0 {
+		if len(ss.hosts) > 0 && ss.hosts[0] != nil {
 			_ = ss.hosts[0].Release(ss.holder)
 		}
 	case PolicyNotebookOS:
 		for i, h := range ss.hosts {
+			if h == nil {
+				continue // crash-emptied slot (faults.go)
+			}
 			_ = h.RemoveReplica(ss.replicaKeyFor(i + 1))
 		}
 		if s.cfg.leaseManaged {
@@ -678,6 +743,8 @@ func (s *sim) finishTask(ss *simSession, submit time.Time, interactivity, exec, 
 	s.res.StepLatency[StepE2E].Add(tct.Seconds())
 	s.res.Tasks++
 	ss.running = false
+	ss.cur = nil
+	ss.restarts = 0
 	if len(ss.queue) > 0 {
 		next := ss.queue[0]
 		ss.queue = ss.queue[1:]
@@ -736,6 +803,7 @@ func (s *sim) runReservationTask(ss *simSession, task trace.Task, submit time.Ti
 	delay := step1 + step5 + step7 + hops
 
 	rt := &resvTask{s: s, ss: ss, task: task, submit: submit, delay: delay}
+	ss.cur = rt
 	s.eng.ScheduleRunner(submit.Add(delay), rt)
 	s.eng.ScheduleRunner(submit.Add(delay+task.Duration), rt)
 }
@@ -779,7 +847,9 @@ func (s *sim) tryBatchTask(ss *simSession, task trace.Task, submit time.Time) bo
 	step7 := s.sampleStep(StepIntermed, s.cfg.Latencies.Transfer.LoadTime(ss.assig.Model.ParamBytes, task.GPUs))
 	delay := step1 + step5 + step7
 
-	s.eng.DeferRunner(delay, &batchTask{s: s, ss: ss, task: task, submit: submit, h: h, delay: delay})
+	bt := &batchTask{s: s, ss: ss, task: task, submit: submit, h: h, delay: delay}
+	ss.cur = bt
+	s.eng.DeferRunner(delay, bt)
 	return true
 }
 
@@ -805,12 +875,13 @@ func (s *sim) tryNbosTask(ss *simSession, task trace.Task, submit time.Time) boo
 	// executor for 89.45% of consecutive executions).
 	executor := 0
 	if ss.lastExecutor > 0 && ss.lastExecutor <= len(ss.hosts) &&
+		ss.hosts[ss.lastExecutor-1] != nil &&
 		ss.hosts[ss.lastExecutor-1].CanCommit(req) {
 		executor = ss.lastExecutor
 	}
 	if executor == 0 {
 		for i, h := range ss.hosts {
-			if h.CanCommit(req) {
+			if h != nil && h.CanCommit(req) {
 				executor = i + 1
 				break
 			}
@@ -839,8 +910,9 @@ func (s *sim) tryNbosTask(ss *simSession, task trace.Task, submit time.Time) boo
 	hops := lat.Hop(s.rng) + lat.Hop(s.rng)
 	delay := migrationDelay + step1 + step5 + step6 + step7 + hops
 
-	s.eng.ScheduleRunner(submit.Add(delay),
-		&nbosTask{s: s, ss: ss, task: task, submit: submit, h: h, delay: delay})
+	nt := &nbosTask{s: s, ss: ss, task: task, submit: submit, h: h, delay: delay}
+	ss.cur = nt
+	s.eng.ScheduleRunner(submit.Add(delay), nt)
 	return true
 }
 
@@ -903,10 +975,15 @@ func (s *sim) tryMigrate(ss *simSession, task trace.Task, submit time.Time) bool
 	s.res.ReadLatency.Add(rd.Seconds())
 	extra += wr + rd + electionCost
 
-	// Move the replica: the victim is the replica on the fullest host.
+	// Move the replica: a crash-emptied slot (faults.go) is refilled
+	// first; otherwise the victim is the replica on the fullest host.
 	victim := 0
 	worst := math.MaxInt
 	for i, h := range ss.hosts {
+		if h == nil {
+			victim = i
+			break
+		}
 		if idle := h.IdleGPUs(); idle < worst {
 			worst = idle
 			victim = i
@@ -914,7 +991,9 @@ func (s *sim) tryMigrate(ss *simSession, task trace.Task, submit time.Time) bool
 	}
 	oldHost := ss.hosts[victim]
 	key := ss.replicaKeyFor(victim + 1)
-	_ = oldHost.RemoveReplica(key)
+	if oldHost != nil {
+		_ = oldHost.RemoveReplica(key)
+	}
 	_ = target.h.PlaceReplica(key, ss.req)
 	ss.hosts[victim] = target.h
 	ss.lastExecutor = victim + 1
@@ -997,7 +1076,9 @@ func (s *sim) tryLCPTask(ss *simSession, task trace.Task, submit time.Time) bool
 	step7 := s.sampleStep(StepIntermed, s.cfg.Latencies.Transfer.LoadTime(ss.assig.Model.ParamBytes, task.GPUs))
 	delay := step1 + step5 + step7
 
-	s.eng.DeferRunner(delay, &lcpTask{s: s, ss: ss, task: task, submit: submit, target: target, delay: delay})
+	lt := &lcpTask{s: s, ss: ss, task: task, submit: submit, target: target, delay: delay}
+	ss.cur = lt
+	s.eng.DeferRunner(delay, lt)
 	return true
 }
 
@@ -1102,6 +1183,7 @@ func (s *sim) autoscaleOnce() {
 			if sh.h.NumReplicas() == 0 && sh.h.Committed().IsZero() {
 				if err := s.cluster.RemoveHost(sh.h.ID); err == nil {
 					s.hostList = append(s.hostList[:i], s.hostList[i+1:]...)
+					s.noteHosts(-1)
 					released++
 					removed = true
 				}

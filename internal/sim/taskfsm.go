@@ -22,6 +22,14 @@ import (
 // replaced exactly — same event-scheduling topology (so engine sequence
 // numbers, and therefore tie-breaks, are unchanged) and same RNG draw order
 // within each phase. CI's benchsnap gated metrics pin this.
+//
+// Each machine also implements the fault layer's runningTask interface
+// (faults.go): abort marks the machine dead — already-scheduled phase
+// events no-op when they fire — unwinds any in-progress training
+// accounting into LostGPUHours, releases the task's exclusive commit, and
+// hands the task back for checkpoint-restore resubmission. The dead flag
+// and tstartNS stamp cost nothing on the fault-free path and change no
+// scheduling, preserving the byte-identity contract.
 
 // resvTask drives the Reservation pipeline. Its two lead events (training
 // start at submit+delay, completion at submit+delay+duration) are both
@@ -34,14 +42,20 @@ type resvTask struct {
 	submit time.Time
 	delay  time.Duration
 	post   time.Duration
+	tstart int64
 	phase  uint8
+	dead   bool
 }
 
 func (t *resvTask) Fire() {
+	if t.dead {
+		return
+	}
 	s := t.s
 	switch t.phase {
 	case 0: // training starts
 		t.phase = 1
+		t.tstart = s.now().UnixNano()
 		s.markTraining(t.ss, t.task, s.now(), true)
 	case 1: // execution done: persist state synchronously (Fig. 16 step 9)
 		t.phase = 2
@@ -58,6 +72,23 @@ func (t *resvTask) Fire() {
 	}
 }
 
+// runsOn: a reservation task always executes on the session's reserved
+// host.
+func (t *resvTask) runsOn(h *cluster.Host) bool {
+	return len(t.ss.hosts) > 0 && t.ss.hosts[0] == h
+}
+
+// abort kills the machine. The session-lifetime GPU commitment stays with
+// the session (repairReservation re-binds it), so nothing releases here.
+func (t *resvTask) abort() (trace.Task, time.Time) {
+	t.dead = true
+	if t.phase >= 1 {
+		t.s.markTraining(t.ss, t.task, t.s.now(), false)
+		t.s.noteLostGPUHours(t.tstart, t.task.GPUs)
+	}
+	return t.task, t.submit
+}
+
 // batchTask drives the Batch pipeline from the training-start event on
 // (commit, cold start, and the delay draws happen in tryBatchTask).
 type batchTask struct {
@@ -68,14 +99,20 @@ type batchTask struct {
 	h      *cluster.Host
 	delay  time.Duration
 	post   time.Duration
+	tstart int64
 	phase  uint8
+	dead   bool
 }
 
 func (t *batchTask) Fire() {
+	if t.dead {
+		return
+	}
 	s := t.s
 	switch t.phase {
 	case 0: // training starts
 		t.phase = 1
+		t.tstart = s.now().UnixNano()
 		s.markTraining(t.ss, t.task, s.now(), true)
 		s.eng.DeferRunner(t.task.Duration, t)
 	case 1: // execution done: persist, then return
@@ -94,6 +131,21 @@ func (t *batchTask) Fire() {
 	}
 }
 
+func (t *batchTask) runsOn(h *cluster.Host) bool { return t.h == h }
+
+// abort kills the machine: the per-task commit releases (a no-op charge
+// on a crashed host — the cluster already dropped its aggregates) and any
+// started training unwinds.
+func (t *batchTask) abort() (trace.Task, time.Time) {
+	t.dead = true
+	if t.phase >= 1 {
+		t.s.markTraining(t.ss, t.task, t.s.now(), false)
+		t.s.noteLostGPUHours(t.tstart, t.task.GPUs)
+	}
+	_ = t.h.Release(t.ss.holder)
+	return t.task, t.submit
+}
+
 // nbosTask drives the NotebookOS pipeline from the training-start event on
 // (executor selection, commit, and the delay draws happen in tryNbosTask).
 type nbosTask struct {
@@ -104,14 +156,20 @@ type nbosTask struct {
 	h      *cluster.Host
 	delay  time.Duration
 	off    time.Duration
+	tstart int64
 	phase  uint8
+	dead   bool
 }
 
 func (t *nbosTask) Fire() {
+	if t.dead {
+		return
+	}
 	s := t.s
 	switch t.phase {
 	case 0: // training starts
 		t.phase = 1
+		t.tstart = s.now().UnixNano()
 		s.markTraining(t.ss, t.task, s.now(), true)
 		s.eng.DeferRunner(t.task.Duration, t)
 	case 1: // execution done
@@ -134,6 +192,21 @@ func (t *nbosTask) Fire() {
 	}
 }
 
+func (t *nbosTask) runsOn(h *cluster.Host) bool { return t.h == h }
+
+// abort kills the machine (executor death or quorum loss — the repair
+// logic in faults.go decides which): the executor's commit releases and
+// any started training unwinds.
+func (t *nbosTask) abort() (trace.Task, time.Time) {
+	t.dead = true
+	if t.phase >= 1 {
+		t.s.markTraining(t.ss, t.task, t.s.now(), false)
+		t.s.noteLostGPUHours(t.tstart, t.task.GPUs)
+	}
+	_ = t.h.Release(t.ss.holder)
+	return t.task, t.submit
+}
+
 // lcpTask drives the LCP pipeline from the training-start event on (warm
 // container attach and the delay draws happen in tryLCPTask). It holds the
 // simHost, not just the cluster host, because the container returns to the
@@ -146,14 +219,20 @@ type lcpTask struct {
 	target *simHost
 	delay  time.Duration
 	post   time.Duration
+	tstart int64
 	phase  uint8
+	dead   bool
 }
 
 func (t *lcpTask) Fire() {
+	if t.dead {
+		return
+	}
 	s := t.s
 	switch t.phase {
 	case 0: // training starts
 		t.phase = 1
+		t.tstart = s.now().UnixNano()
 		s.markTraining(t.ss, t.task, s.now(), true)
 		s.eng.DeferRunner(t.task.Duration, t)
 	case 1: // execution done: persist, then return
@@ -173,6 +252,20 @@ func (t *lcpTask) Fire() {
 	}
 }
 
+func (t *lcpTask) runsOn(h *cluster.Host) bool { return t.target.h == h }
+
+// abort kills the machine: the commit releases, training unwinds, and the
+// container does NOT return to the warm pool — it died with its host.
+func (t *lcpTask) abort() (trace.Task, time.Time) {
+	t.dead = true
+	if t.phase >= 1 {
+		t.s.markTraining(t.ss, t.task, t.s.now(), false)
+		t.s.noteLostGPUHours(t.tstart, t.task.GPUs)
+	}
+	_ = t.target.h.Release(t.ss.holder)
+	return t.task, t.submit
+}
+
 // fedTask drives the federated pipeline from the training-start event on
 // (placement, commit, WAN charging, and the delay draws happen in tryTask).
 type fedTask struct {
@@ -182,14 +275,20 @@ type fedTask struct {
 	submit time.Time
 	fh     *fedHost
 	delay  time.Duration
+	tstart int64
 	phase  uint8
+	dead   bool
 }
 
 func (t *fedTask) Fire() {
+	if t.dead {
+		return
+	}
 	s := t.s
 	switch t.phase {
 	case 0: // training starts
 		t.phase = 1
+		t.tstart = s.now().UnixNano()
 		s.markTraining(t.fh.member, t.task, true)
 		s.eng.DeferRunner(t.task.Duration, t)
 	case 1: // execution done
@@ -202,4 +301,18 @@ func (t *fedTask) Fire() {
 		_ = t.fh.h.Release(t.ss.holder)
 		s.finishTask(t.ss, t.submit, t.delay)
 	}
+}
+
+func (t *fedTask) runsOn(h *cluster.Host) bool { return t.fh.h == h }
+
+// abort kills the machine: the executor's commit releases and any started
+// training unwinds against the executor's member cluster.
+func (t *fedTask) abort() (trace.Task, time.Time) {
+	t.dead = true
+	if t.phase >= 1 {
+		t.s.markTraining(t.fh.member, t.task, false)
+		t.s.noteLostGPUHours(t.tstart, t.task.GPUs)
+	}
+	_ = t.fh.h.Release(t.ss.holder)
+	return t.task, t.submit
 }

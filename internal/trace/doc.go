@@ -39,4 +39,13 @@
 // randomness, so classing a workload never perturbs it. The federated
 // simulator's SLO-aware wait-queue (sim.FedConfig.SLOAware) is the
 // consumer.
+//
+// FaultSpec (faults.go) is the workload's chaos counterpart: a
+// declarative, JSON-serializable fault schedule — per-host exponential
+// crash/recover churn, correlated outage windows, degraded-network
+// episodes, and checkpoint-restore retry economics with SLO-class
+// budgets. Its streams are pure functions of (spec, seed, slot), keyed
+// through a dedicated splitmix64 salt so they never touch workload
+// randomness; a ScenarioSpec can embed one, and the simulators thread it
+// in as sim.Config.Faults (docs/FAULTS.md).
 package trace

@@ -1,0 +1,299 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// This file is the declarative fault layer: a FaultSpec describes a
+// deterministic chaos schedule — per-host exponential crash/recover
+// pairs, scheduled outage windows, and network-degradation episodes — as
+// plain serializable data, the same way ScenarioSpec describes a
+// workload. The spec carries no state: every draw is a pure function of
+// (spec, run seed, host slot), so two simulations given the same seed
+// replay byte-identical fault streams regardless of sharding or worker
+// scheduling. That purity is what keeps the lease pool's capacity ledger
+// exact under faults (docs/FAULTS.md, docs/SHARDING.md).
+
+// FaultSpec declares a deterministic fault model for a simulation run.
+// The zero value (and a nil pointer) means a failure-free world: every
+// hook in the simulator is gated on Enabled, so an empty spec leaves
+// runs byte-identical to builds that predate fault injection.
+type FaultSpec struct {
+	// HostMTBFHours is the mean time between failures of one host slot:
+	// each host that joins the cluster draws an exponential uptime with
+	// this mean and crashes when it expires. 0 disables crash/recover
+	// churn (outages and degradations still apply).
+	HostMTBFHours float64 `json:"host_mtbf_hours,omitempty"`
+	// HostMTTRHours is the mean time to repair: a crashed host's
+	// replacement arrives after an exponential downtime with this mean.
+	// Required (positive) whenever HostMTBFHours is set.
+	HostMTTRHours float64 `json:"host_mttr_hours,omitempty"`
+	// CheckpointRestoreSeconds prices one task restart after quorum loss:
+	// the time to pull the last checkpoint from the remote store and
+	// replay to the failure point. 0 means DefaultCheckpointRestore.
+	CheckpointRestoreSeconds float64 `json:"checkpoint_restore_seconds,omitempty"`
+	// RetryBackoffSeconds is the base of the exponential backoff between
+	// restart attempts of the same task. 0 means DefaultRetryBackoff.
+	RetryBackoffSeconds float64 `json:"retry_backoff_seconds,omitempty"`
+	// MaxRetries is the batch-class restart budget per task; the
+	// interactive class abandons sooner and best-effort later (see
+	// RetryBudget). 0 means DefaultMaxRetries.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// Outages lists scheduled cluster/AZ failure windows.
+	Outages []OutageSpec `json:"outages,omitempty"`
+	// Degradations lists network-degradation episodes that scale every
+	// inter-cluster penalty of a federated run.
+	Degradations []DegradeSpec `json:"degradations,omitempty"`
+}
+
+// OutageSpec is one scheduled outage window: at StartHour (elapsed hours
+// from the trace start) each live host is killed independently with
+// probability HostFraction; the victims' replacements arrive together
+// when the window closes.
+type OutageSpec struct {
+	StartHour     float64 `json:"start_hour"`
+	DurationHours float64 `json:"duration_hours"`
+	// HostFraction in (0, 1] is the per-host kill probability.
+	HostFraction float64 `json:"host_fraction"`
+	// Cluster names the federated member the outage hits ("" hits every
+	// member; single-cluster runs apply only unscoped outages).
+	Cluster string `json:"cluster,omitempty"`
+}
+
+// DegradeSpec is one network-degradation episode: between StartHour and
+// StartHour+DurationHours every inter-cluster penalty is multiplied by
+// Factor (through federation.SetPenaltyScale). Single-cluster runs have
+// no inter-cluster links and ignore these.
+type DegradeSpec struct {
+	StartHour     float64 `json:"start_hour"`
+	DurationHours float64 `json:"duration_hours"`
+	// Factor >= 1 scales the penalties for the episode.
+	Factor float64 `json:"factor"`
+}
+
+// Fault-model defaults; see the corresponding FaultSpec fields.
+const (
+	DefaultCheckpointRestore = 30 * time.Second
+	DefaultRetryBackoff      = 15 * time.Second
+	DefaultMaxRetries        = 3
+)
+
+// Enabled reports whether the spec injects any fault at all. Nil-safe:
+// the simulator gates every fault hook on this, so a nil or empty spec
+// costs nothing and changes nothing.
+func (f *FaultSpec) Enabled() bool {
+	if f == nil {
+		return false
+	}
+	return f.HostMTBFHours > 0 || len(f.Outages) > 0 || len(f.Degradations) > 0
+}
+
+// Validate checks the spec's internal consistency.
+func (f *FaultSpec) Validate() error {
+	if f == nil {
+		return nil
+	}
+	if f.HostMTBFHours < 0 || f.HostMTTRHours < 0 {
+		return fmt.Errorf("trace: faults need non-negative MTBF/MTTR, got %v/%v",
+			f.HostMTBFHours, f.HostMTTRHours)
+	}
+	if f.HostMTBFHours > 0 && f.HostMTTRHours <= 0 {
+		return fmt.Errorf("trace: faults with host_mtbf_hours %v need positive host_mttr_hours",
+			f.HostMTBFHours)
+	}
+	if f.CheckpointRestoreSeconds < 0 || f.RetryBackoffSeconds < 0 || f.MaxRetries < 0 {
+		return fmt.Errorf("trace: faults need non-negative restart knobs")
+	}
+	for i, o := range f.Outages {
+		if o.StartHour < 0 || o.DurationHours <= 0 {
+			return fmt.Errorf("trace: outage %d invalid window [%v, +%vh)", i, o.StartHour, o.DurationHours)
+		}
+		if o.HostFraction <= 0 || o.HostFraction > 1 {
+			return fmt.Errorf("trace: outage %d host_fraction %v outside (0,1]", i, o.HostFraction)
+		}
+	}
+	for i, d := range f.Degradations {
+		if d.StartHour < 0 || d.DurationHours <= 0 {
+			return fmt.Errorf("trace: degradation %d invalid window [%v, +%vh)", i, d.StartHour, d.DurationHours)
+		}
+		if d.Factor < 1 {
+			return fmt.Errorf("trace: degradation %d factor %v below 1", i, d.Factor)
+		}
+	}
+	return nil
+}
+
+// faultSalt decorrelates the fault stream from every other seed-derived
+// stream in the system (shard seeds, the simulator's scheduling and
+// workload RNGs, lean-metrics reservoirs): the same run seed feeds them
+// all, and the fault draws must not echo any of them.
+const faultSalt = 0x5fa1700d5eed5a17
+
+// faultRNG derives the deterministic RNG for one fault stream keyed by
+// (seed, key): splitmix64 over the salted seed plus the key, so nearby
+// keys (consecutive host slots, outage indexes) decorrelate fully.
+func faultRNG(seed int64, key uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(splitmix64(splitmix64(uint64(seed)^faultSalt) + key))))
+}
+
+// HostFault returns the deterministic (uptime, downtime) pair for host
+// slot `slot` of a run seeded with `seed`: the host crashes after an
+// exponential uptime with mean HostMTBFHours, and its replacement
+// arrives after an exponential downtime with mean HostMTTRHours. A pure
+// function of (spec, seed, slot) — the replacement occupies a fresh slot
+// with its own pair, so host lifecycles form an alternating renewal
+// process whose long-run down fraction is MTTR/(MTBF+MTTR) (pinned by
+// TestHostFaultDowntimeFraction). Returns (0, 0) when crash churn is
+// disabled.
+func (f *FaultSpec) HostFault(seed int64, slot uint64) (up, down time.Duration) {
+	if f == nil || f.HostMTBFHours <= 0 {
+		return 0, 0
+	}
+	r := faultRNG(seed, slot)
+	up = time.Duration(r.ExpFloat64() * f.HostMTBFHours * float64(time.Hour))
+	down = time.Duration(r.ExpFloat64() * f.HostMTTRHours * float64(time.Hour))
+	return up, down
+}
+
+// OutageRNG returns the deterministic RNG for outage index i's per-host
+// kill draws. The simulator draws one Float64 per live host in host-list
+// order, so a replayed run — in particular the lease pool's capacity
+// ledger, which replays the parent seed over the parent workload —
+// selects the identical victims.
+func (f *FaultSpec) OutageRNG(seed int64, i int) *rand.Rand {
+	return faultRNG(seed, uint64(1<<32)+uint64(i))
+}
+
+// CheckpointRestore returns the configured checkpoint-restore penalty.
+func (f *FaultSpec) CheckpointRestore() time.Duration {
+	if f == nil || f.CheckpointRestoreSeconds <= 0 {
+		return DefaultCheckpointRestore
+	}
+	return time.Duration(f.CheckpointRestoreSeconds * float64(time.Second))
+}
+
+// RetryBackoff returns the base backoff between restart attempts;
+// attempt n waits RetryBackoff << (n-1).
+func (f *FaultSpec) RetryBackoff() time.Duration {
+	if f == nil || f.RetryBackoffSeconds <= 0 {
+		return DefaultRetryBackoff
+	}
+	return time.Duration(f.RetryBackoffSeconds * float64(time.Second))
+}
+
+// RetryBudget returns the restart budget for one task of the given SLO
+// class. Interactive users will not wait out repeated checkpoint-restore
+// cycles, so that class abandons fastest; best-effort work retries
+// longest. The batch budget is MaxRetries (or DefaultMaxRetries).
+func (f *FaultSpec) RetryBudget(class SLOClass) int {
+	base := DefaultMaxRetries
+	if f != nil && f.MaxRetries > 0 {
+		base = f.MaxRetries
+	}
+	switch class.OrDefault() {
+	case SLOInteractive:
+		b := base / 3
+		if b < 1 {
+			b = 1
+		}
+		return b
+	case SLOBestEffort:
+		return base * 2
+	default:
+		return base
+	}
+}
+
+// ParseFaults decodes a JSON FaultSpec, rejecting unknown fields so
+// typos in hand-written chaos files fail loudly.
+func ParseFaults(data []byte) (FaultSpec, error) {
+	var f FaultSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return FaultSpec{}, fmt.Errorf("trace: parse faults: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return FaultSpec{}, err
+	}
+	return f, nil
+}
+
+// LoadFaults reads and parses a JSON FaultSpec file.
+func LoadFaults(path string) (FaultSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return FaultSpec{}, fmt.Errorf("trace: load faults: %w", err)
+	}
+	return ParseFaults(data)
+}
+
+// ResolveFaults returns the built-in fault profile of that name, or —
+// when no built-in matches — treats the argument as a JSON spec file.
+func ResolveFaults(nameOrPath string) (FaultSpec, error) {
+	if f, ok := BuiltinFaultProfile(nameOrPath); ok {
+		return f, nil
+	}
+	f, err := LoadFaults(nameOrPath)
+	if err != nil {
+		return FaultSpec{}, fmt.Errorf("%w (and %q names no built-in fault profile; built-ins: %v)",
+			err, nameOrPath, BuiltinFaultProfileNames())
+	}
+	return f, nil
+}
+
+// ---- built-in fault profiles ---------------------------------------------
+
+// LightFaultProfile models routine hardware churn: rare crashes (200 h
+// MTBF) repaired in about half an hour.
+func LightFaultProfile() FaultSpec {
+	return FaultSpec{HostMTBFHours: 200, HostMTTRHours: 0.5}
+}
+
+// HeavyFaultProfile models a bad week: daily-scale crashes with hour-long
+// repairs plus a degraded-network episode.
+func HeavyFaultProfile() FaultSpec {
+	return FaultSpec{
+		HostMTBFHours: 24,
+		HostMTTRHours: 1,
+		Degradations:  []DegradeSpec{{StartHour: 6, DurationHours: 2, Factor: 8}},
+	}
+}
+
+// AZOutageFaultProfile models an availability-zone failure: light
+// background churn, then a 90-minute window that kills 40% of the fleet
+// at hour 8, with the WAN degraded 4x for the same stretch.
+func AZOutageFaultProfile() FaultSpec {
+	return FaultSpec{
+		HostMTBFHours: 300,
+		HostMTTRHours: 0.5,
+		Outages:       []OutageSpec{{StartHour: 8, DurationHours: 1.5, HostFraction: 0.4}},
+		Degradations:  []DegradeSpec{{StartHour: 8, DurationHours: 1.5, Factor: 4}},
+	}
+}
+
+// BuiltinFaultProfiles returns the registered fault profiles with their
+// registry names, in listing order.
+func BuiltinFaultProfiles() map[string]FaultSpec {
+	return map[string]FaultSpec{
+		"light":     LightFaultProfile(),
+		"heavy":     HeavyFaultProfile(),
+		"az-outage": AZOutageFaultProfile(),
+	}
+}
+
+// BuiltinFaultProfile finds a registered fault profile by name.
+func BuiltinFaultProfile(name string) (FaultSpec, bool) {
+	f, ok := BuiltinFaultProfiles()[name]
+	return f, ok
+}
+
+// BuiltinFaultProfileNames lists the registered profile names.
+func BuiltinFaultProfileNames() []string {
+	return []string{"light", "heavy", "az-outage"}
+}

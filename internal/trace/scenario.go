@@ -363,6 +363,12 @@ type ScenarioSpec struct {
 	GranularitySeconds float64      `json:"granularity_seconds,omitempty"`
 	Arrival            ArrivalSpec  `json:"arrival"`
 	Cohorts            []CohortSpec `json:"cohorts"`
+	// Faults optionally declares a deterministic chaos schedule to run the
+	// scenario under (host crash churn, outage windows, degraded-network
+	// episodes). The workload compiled by Config is fault-agnostic; runners
+	// thread the spec into the simulation (sim.Config.Faults), so the same
+	// scenario runs failure-free when the block is omitted.
+	Faults *FaultSpec `json:"faults,omitempty"`
 }
 
 // Validate checks the spec without compiling a usable config.
@@ -388,6 +394,9 @@ func (s ScenarioSpec) Config(seed int64) (GenConfig, error) {
 	}
 	if len(s.Cohorts) == 0 {
 		return GenConfig{}, fmt.Errorf("trace: scenario %q needs at least one cohort", s.Name)
+	}
+	if err := s.Faults.Validate(); err != nil {
+		return GenConfig{}, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
 	cohorts := make([]Cohort, len(s.Cohorts))
 	for i, cs := range s.Cohorts {
